@@ -1,0 +1,162 @@
+// Ablations for the design choices DESIGN.md calls out:
+//   1. DBAO mechanisms: deterministic back-off, overhearing, carrier-sense
+//      reach, responsibility width.
+//   2. OF aggressiveness: pure tree vs default vs bold gambling.
+//   3. Corollary 1's knee: measured compact-time FDL slope change at M = m.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ldcf/analysis/table.hpp"
+#include "ldcf/protocols/dbao.hpp"
+#include "ldcf/protocols/opportunistic.hpp"
+#include "ldcf/theory/compact_flooding.hpp"
+#include "ldcf/theory/fwl.hpp"
+
+namespace {
+
+using namespace ldcf;
+using analysis::Table;
+
+template <typename Protocol>
+void report(Table& table, const std::string& label,
+            const topology::Topology& topo, Protocol&& proto,
+            std::uint32_t packets, double capture_ratio = 0.0) {
+  sim::SimConfig config;
+  config.duty = DutyCycle::from_ratio(bench::kPaperDuty);
+  config.num_packets = packets;
+  config.seed = bench::kRunSeed;
+  config.capture_ratio = capture_ratio;
+  const auto res = sim::run_simulation(topo, config, proto);
+  table.add_row({label, Table::num(res.metrics.mean_total_delay()),
+                 Table::num(res.metrics.channel.failures()),
+                 Table::num(res.metrics.channel.collisions),
+                 Table::num(res.metrics.channel.duplicates),
+                 Table::num(res.metrics.channel.attempts)});
+}
+
+}  // namespace
+
+int main() {
+  const topology::Topology topo = bench::load_trace();
+  const std::uint32_t packets = std::min<std::uint32_t>(
+      bench::packet_count(), 30);  // ablations need many runs; cap M.
+
+  std::cout << "=== Ablation 1: DBAO mechanisms (M = " << packets
+            << ", duty 5%) ===\n";
+  {
+    Table table({"variant", "mean delay", "failures", "collisions",
+                 "duplicates", "attempts"});
+    report(table, "default", topo, protocols::DbaoFlooding{}, packets);
+
+    protocols::DbaoConfig no_backoff;
+    no_backoff.deterministic_backoff = false;
+    report(table, "no deterministic backoff", topo,
+           protocols::DbaoFlooding{no_backoff}, packets);
+
+    protocols::DbaoConfig no_overhear;
+    no_overhear.overhearing = false;
+    report(table, "no overhearing", topo,
+           protocols::DbaoFlooding{no_overhear}, packets);
+
+    protocols::DbaoConfig tiny_cs;
+    tiny_cs.cs_range_factor = 0.0;
+    report(table, "CS = decoding range only", topo,
+           protocols::DbaoFlooding{tiny_cs}, packets);
+
+    for (const std::size_t resp : {1u, 2u, 4u, 6u}) {
+      protocols::DbaoConfig width;
+      width.responsible_senders = resp;
+      report(table, "responsible senders = " + std::to_string(resp), topo,
+             protocols::DbaoFlooding{width}, packets);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n=== Ablation 2: OF gambling policy (M = " << packets
+            << ", duty 5%) ===\n";
+  {
+    Table table({"variant", "mean delay", "failures", "collisions",
+                 "duplicates", "attempts"});
+    protocols::OpportunisticConfig tree_only;
+    tree_only.min_link_prr = 2.0;
+    report(table, "pure energy tree", topo,
+           protocols::OpportunisticFlooding{tree_only}, packets);
+    report(table, "default", topo, protocols::OpportunisticFlooding{},
+           packets);
+    protocols::OpportunisticConfig bold;
+    bold.min_link_prr = 0.3;
+    bold.quantile_z = 0.0;
+    report(table, "bold (prr >= 0.3, z = 0)", topo,
+           protocols::OpportunisticFlooding{bold}, packets);
+    table.print(std::cout);
+  }
+
+  std::cout << "\n=== Ablation 3: capture effect (Flash-flooding-style "
+               "channel, M = " << packets << ", duty 5%) ===\n";
+  {
+    Table table({"variant", "mean delay", "failures", "collisions",
+                 "duplicates", "attempts"});
+    protocols::DbaoConfig tiny_cs;  // cripple CS so collisions exist at all.
+    tiny_cs.cs_range_factor = 0.0;
+    report(table, "dbao (CS off), no capture", topo,
+           protocols::DbaoFlooding{tiny_cs}, packets, 0.0);
+    report(table, "dbao (CS off), capture 2.0x", topo,
+           protocols::DbaoFlooding{tiny_cs}, packets, 2.0);
+    report(table, "of, no capture", topo, protocols::OpportunisticFlooding{},
+           packets, 0.0);
+    report(table, "of, capture 2.0x", topo,
+           protocols::OpportunisticFlooding{}, packets, 2.0);
+    table.print(std::cout);
+    std::cout << "Capture turns destructive overlaps into deliveries when "
+                 "one link dominates, cutting collisions.\n";
+  }
+
+  std::cout << "\n=== Ablation 4: imperfect local synchronization (DBAO, "
+               "M = " << packets << ", duty 5%) ===\n";
+  {
+    Table table({"sync miss prob", "mean delay", "failures", "sync misses",
+                 "attempts"});
+    for (const double p : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+      sim::SimConfig config;
+      config.duty = DutyCycle::from_ratio(bench::kPaperDuty);
+      config.num_packets = packets;
+      config.seed = bench::kRunSeed;
+      config.sync_miss_prob = p;
+      protocols::DbaoFlooding proto;
+      const auto res = sim::run_simulation(topo, config, proto);
+      table.add_row({Table::num(p, 2),
+                     Table::num(res.metrics.mean_total_delay()),
+                     Table::num(res.metrics.channel.failures()),
+                     Table::num(res.metrics.channel.sync_misses),
+                     Table::num(res.metrics.channel.attempts)});
+    }
+    table.print(std::cout);
+    std::cout << "The paper assumes perfect local synchronization; each "
+                 "stale wakeup estimate costs a full period, so drift "
+                 "inflates delay roughly like extra link loss.\n";
+  }
+
+  std::cout << "\n=== Ablation 5: Corollary 1's knee in compact time "
+               "(Algorithm 1, N = 256) ===\n";
+  {
+    using namespace ldcf::theory;
+    const std::uint64_t n = 256;
+    const std::uint64_t m = m_of(n);
+    Table table({"M", "compact FDL", "delta per extra packet"});
+    std::uint64_t prev = 0;
+    for (std::uint64_t m_pkts = 1; m_pkts <= 2 * m; ++m_pkts) {
+      const auto run =
+          run_compact_flooding(CompactRunConfig{n, m_pkts, false});
+      table.add_row({Table::num(m_pkts), Table::num(run.total_slots),
+                     m_pkts == 1 ? std::string("-")
+                                 : Table::num(run.total_slots - prev)});
+      prev = run.total_slots;
+    }
+    table.print(std::cout);
+    std::cout << "Blocking window (Corollary 1): a packet is delayed by at "
+               "most m - 1 = "
+              << m - 1 << " predecessors; the per-packet delta stays 1 "
+              << "(full pipelining) under full duplex.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quantifying the paper's §III-B modeling assumptions on the trace:
+//   1. "It is rare for multiple neighboring sensors waking up at the same
+//      time period" — the histogram of awake-neighbor counts per slot.
+//   2. Therefore "flooding is achieved via a number of unicasts" —
+//      broadcast-based flooding (flash, [17]) against the unicast family,
+//      with and without the capture effect.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ldcf/analysis/table.hpp"
+#include "ldcf/protocols/flash.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/schedule/working_schedule.hpp"
+
+int main() {
+  using namespace ldcf;
+  using analysis::Table;
+
+  const topology::Topology topo = bench::load_trace();
+  const std::uint32_t packets = std::min<std::uint32_t>(
+      bench::packet_count(), 20);
+
+  std::cout << "=== Assumption 1: awake neighbors per transmission slot "
+               "===\n";
+  {
+    Table table({"duty", "T", "mean awake nbrs", "P(0 awake)", "P(1 awake)",
+                 "P(>=2 awake)"});
+    for (const std::uint32_t t : {50u, 20u, 10u, 5u}) {
+      Rng rng(3);
+      const schedule::ScheduleSet schedules(topo.num_nodes(), DutyCycle{t},
+                                            rng);
+      std::uint64_t total = 0;
+      std::uint64_t zero = 0;
+      std::uint64_t one = 0;
+      std::uint64_t more = 0;
+      std::uint64_t samples = 0;
+      for (NodeId node = 0; node < topo.num_nodes(); ++node) {
+        for (SlotIndex slot = 0; slot < t; ++slot) {
+          std::uint64_t awake = 0;
+          for (const topology::Link& link : topo.neighbors(node)) {
+            if (schedules.is_active(link.to, slot)) ++awake;
+          }
+          total += awake;
+          zero += awake == 0 ? 1 : 0;
+          one += awake == 1 ? 1 : 0;
+          more += awake >= 2 ? 1 : 0;
+          ++samples;
+        }
+      }
+      const auto frac = [&](std::uint64_t n) {
+        return Table::num(100.0 * static_cast<double>(n) /
+                              static_cast<double>(samples),
+                          1) +
+               "%";
+      };
+      table.add_row({Table::num(100.0 / t, 1) + "%",
+                     Table::num(std::uint64_t{t}),
+                     Table::num(static_cast<double>(total) /
+                                    static_cast<double>(samples),
+                                2),
+                     frac(zero), frac(one), frac(more)});
+    }
+    table.print(std::cout);
+    std::cout << "At low duty cycles most slots see zero or one awake "
+                 "neighbor: a broadcast reaches (almost) nobody, which is "
+                 "why the paper models flooding as unicasts.\n\n";
+  }
+
+  std::cout << "=== Assumption 2: broadcast flooding vs the unicast family "
+               "(M = " << packets << ", duty 5%) ===\n";
+  {
+    Table table({"protocol", "mean delay", "attempts", "useful copies",
+                 "copies per tx"});
+    const auto report = [&](const std::string& label, auto&& proto,
+                            double capture) {
+      sim::SimConfig config;
+      config.duty = DutyCycle::from_ratio(bench::kPaperDuty);
+      config.num_packets = packets;
+      config.seed = bench::kRunSeed;
+      config.capture_ratio = capture;
+      const auto res = sim::run_simulation(topo, config, proto);
+      std::uint64_t fresh = 0;
+      for (const auto& rec : res.metrics.packets) fresh += rec.deliveries;
+      table.add_row(
+          {label, Table::num(res.metrics.mean_total_delay()),
+           Table::num(res.metrics.channel.attempts), Table::num(fresh),
+           Table::num(static_cast<double>(fresh) /
+                          static_cast<double>(res.metrics.channel.attempts),
+                      2)});
+    };
+    report("flash (broadcast)", protocols::FlashFlooding{}, 0.0);
+    report("flash + capture 1.5x", protocols::FlashFlooding{}, 1.5);
+    report("dbao (unicast)", *protocols::make_protocol("dbao"), 0.0);
+    report("opt (unicast oracle)", *protocols::make_protocol("opt"), 0.0);
+    table.print(std::cout);
+    std::cout << "Unicasts deliver ~one useful copy per transmission by "
+                 "construction; broadcasts waste most of theirs on "
+                 "sleeping neighborhoods.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared setup for the trace-driven benches (Figs. 9-11): the GreenOrbs
+// stand-in trace, written to and loaded back from a trace file so the
+// pipeline is genuinely trace-driven, plus the paper's default parameters.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/generators.hpp"
+#include "ldcf/topology/trace_io.hpp"
+
+namespace ldcf::bench {
+
+inline constexpr std::uint64_t kTraceSeed = 1;
+inline constexpr std::uint32_t kPaperPackets = 100;   // M (paper default).
+inline constexpr double kPaperDuty = 0.05;            // 5% (paper default).
+inline constexpr std::uint64_t kRunSeed = 7;
+
+/// Generate-once / load-from-file trace, like the paper's GreenOrbs input.
+inline topology::Topology load_trace() {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ldcf_bench_trace_" + std::to_string(kTraceSeed) + ".csv");
+  if (!std::filesystem::exists(path)) {
+    topology::write_trace_file(topology::make_greenorbs_like(kTraceSeed),
+                               path.string());
+  }
+  return topology::read_trace_file(path.string());
+}
+
+/// Packet count override for quick runs: LDCF_BENCH_PACKETS=20 ./bench_fig9
+inline std::uint32_t packet_count() {
+  if (const char* env = std::getenv("LDCF_BENCH_PACKETS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<std::uint32_t>(value);
+  }
+  return kPaperPackets;
+}
+
+/// Seed-repetition override: LDCF_BENCH_REPS=1 for the fastest runs.
+inline std::uint32_t repetitions() {
+  if (const char* env = std::getenv("LDCF_BENCH_REPS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<std::uint32_t>(value);
+  }
+  return 3;
+}
+
+inline sim::SimConfig paper_config() {
+  sim::SimConfig config;
+  config.duty = DutyCycle::from_ratio(kPaperDuty);
+  config.num_packets = packet_count();
+  config.seed = kRunSeed;
+  return config;
+}
+
+}  // namespace ldcf::bench

@@ -1,0 +1,76 @@
+// Robustness of the headline orderings across seeds: re-run the Fig. 9/10
+// comparison on ten independent (schedule, channel) seeds and on three
+// independently generated topologies, reporting mean +/- run-to-run stddev
+// and how often each pairwise ordering held.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ldcf/analysis/experiment.hpp"
+#include "ldcf/analysis/table.hpp"
+
+int main() {
+  using namespace ldcf;
+  using analysis::Table;
+
+  const std::uint32_t packets = std::min<std::uint32_t>(
+      bench::packet_count(), 20);
+  constexpr std::uint32_t kSeeds = 10;
+
+  std::cout << "=== Seed robustness: " << kSeeds
+            << " runs per protocol (M = " << packets << ", duty 5%) ===\n";
+  {
+    const topology::Topology topo = bench::load_trace();
+    analysis::ExperimentConfig config;
+    config.base.num_packets = packets;
+    config.base.seed = 100;
+    config.repetitions = kSeeds;
+    Table table({"protocol", "mean delay", "stddev", "failures"});
+    std::vector<double> delays;
+    for (const char* name : {"of", "dbao", "opt"}) {
+      const auto point = analysis::run_point(
+          topo, name, DutyCycle::from_ratio(bench::kPaperDuty), config);
+      table.add_row({name, Table::num(point.mean_delay),
+                     Table::num(point.delay_stddev),
+                     Table::num(point.failures, 0)});
+      delays.push_back(point.mean_delay);
+    }
+    table.print(std::cout);
+    std::cout << (delays[2] < delays[1] && delays[1] < delays[0]
+                      ? "Mean ordering opt < dbao < of holds.\n"
+                      : "WARNING: mean ordering violated!\n");
+  }
+
+  std::cout << "\n=== Topology robustness: three independent traces ===\n";
+  {
+    Table table({"trace seed", "OF", "DBAO", "OPT", "ordering"});
+    for (const std::uint64_t trace_seed : {11ULL, 22ULL, 33ULL}) {
+      const auto topo = topology::make_greenorbs_like(trace_seed);
+      analysis::ExperimentConfig config;
+      config.base.num_packets = packets;
+      config.base.seed = 7;
+      config.repetitions = 5;
+      const auto duty = DutyCycle::from_ratio(bench::kPaperDuty);
+      const auto of = analysis::run_point(topo, "of", duty, config);
+      const auto dbao = analysis::run_point(topo, "dbao", duty, config);
+      const auto opt = analysis::run_point(topo, "opt", duty, config);
+      // OPT and DBAO can land within run-to-run noise of each other on an
+      // easy trace; call it a tie below 5%.
+      const char* label =
+          opt.mean_delay < dbao.mean_delay && dbao.mean_delay < of.mean_delay
+              ? "opt < dbao < of"
+          : opt.mean_delay < 1.05 * dbao.mean_delay &&
+                  dbao.mean_delay < of.mean_delay
+              ? "opt ~= dbao < of"
+              : "VIOLATED";
+      table.add_row({Table::num(trace_seed), Table::num(of.mean_delay),
+                     Table::num(dbao.mean_delay), Table::num(opt.mean_delay),
+                     label});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nShape check: the paper's protocol ordering is a property "
+               "of the mechanism, not of one lucky seed or trace (OPT and "
+               "DBAO may tie within noise on easy traces).\n";
+  return 0;
+}

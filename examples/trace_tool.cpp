@@ -1,0 +1,134 @@
+// trace_tool — generate, inspect and export topology traces.
+//
+//   trace_tool gen  <out.csv> [--sensors N] [--seed S] [--area M]
+//                   [--clusters K] [--exponent E]
+//   trace_tool info <trace.csv>
+//   trace_tool dot  <trace.csv> <out.dot>       # render: neato -n2 -Tsvg
+//
+// `gen` writes the same seeded GreenOrbs-like traces the benches use, so a
+// user can regenerate, archive or hand-edit the exact input of a run.
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "ldcf/topology/generators.hpp"
+#include "ldcf/topology/trace_io.hpp"
+#include "ldcf/topology/tree.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage:\n"
+               "  trace_tool gen  <out.csv> [--sensors N] [--seed S] "
+               "[--area M] [--clusters K] [--exponent E]\n"
+               "  trace_tool info <trace.csv>\n"
+               "  trace_tool dot  <trace.csv> <out.dot>\n";
+  std::exit(2);
+}
+
+int cmd_gen(int argc, char** argv) {
+  using namespace ldcf::topology;
+  if (argc < 3) usage();
+  const std::string out_path = argv[2];
+  ClusterConfig config;
+  config.base.num_sensors = 298;
+  config.base.area_side_m = 560.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = 1;
+  config.num_clusters = 18;
+  config.cluster_sigma_m = 34.0;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string arg = argv[i];
+    const char* value = argv[i + 1];
+    if (arg == "--sensors") {
+      config.base.num_sensors =
+          static_cast<std::uint32_t>(std::stoul(value));
+      // Keep density roughly constant when resizing.
+      config.base.area_side_m =
+          560.0 * std::sqrt(config.base.num_sensors / 298.0);
+      config.num_clusters =
+          std::max(4u, config.base.num_sensors / 17u);
+    } else if (arg == "--seed") {
+      config.base.seed = std::stoull(value);
+    } else if (arg == "--area") {
+      config.base.area_side_m = std::stod(value);
+    } else if (arg == "--clusters") {
+      config.num_clusters = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (arg == "--exponent") {
+      config.base.radio.path_loss_exponent = std::stod(value);
+    } else {
+      usage();
+    }
+  }
+  const Topology topo = make_clustered(config);
+  write_trace_file(topo, out_path);
+  std::cout << "wrote " << out_path << ": " << topo.num_sensors()
+            << " sensors, " << topo.num_links() << " links\n";
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  using namespace ldcf::topology;
+  if (argc < 3) usage();
+  const Topology topo = read_trace_file(argv[2]);
+  std::cout << "nodes            : " << topo.num_nodes() << " ("
+            << topo.num_sensors() << " sensors + source)\n";
+  std::cout << "directed links   : " << topo.num_links() << "\n";
+  std::cout << "mean out-degree  : " << topo.mean_degree() << "\n";
+  std::cout << "mean link PRR    : " << topo.mean_prr() << "\n";
+  std::cout << "reachable from S : " << topo.reachable_count(0) << "\n";
+  std::cout << "max hops from S  : " << topo.eccentricity_from_source()
+            << "\n";
+  const Tree tree = build_etx_tree(topo, 0);
+  double worst = 0.0;
+  for (ldcf::NodeId v = 0; v < topo.num_nodes(); ++v) {
+    if (tree.reached(v) && std::isfinite(tree.cost[v])) {
+      worst = std::max(worst, tree.cost[v]);
+    }
+  }
+  std::cout << "worst ETX path   : " << worst << " expected transmissions\n";
+  // Link-quality mix: the property the paper's analysis leans on.
+  std::size_t good = 0;
+  std::size_t mid = 0;
+  std::size_t poor = 0;
+  for (ldcf::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    for (const Link& l : topo.neighbors(n)) {
+      if (l.prr > 0.8) {
+        ++good;
+      } else if (l.prr > 0.4) {
+        ++mid;
+      } else {
+        ++poor;
+      }
+    }
+  }
+  std::cout << "link mix         : " << good << " good (>0.8), " << mid
+            << " mid (0.4-0.8), " << poor << " poor (<0.4)\n";
+  return 0;
+}
+
+int cmd_dot(int argc, char** argv) {
+  using namespace ldcf::topology;
+  if (argc < 4) usage();
+  const Topology topo = read_trace_file(argv[2]);
+  write_dot_file(topo, argv[3]);
+  std::cout << "wrote " << argv[3] << " (render: neato -n2 -Tsvg " << argv[3]
+            << " > trace.svg)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "dot") return cmd_dot(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_tool: " << e.what() << "\n";
+    return 1;
+  }
+  usage();
+}

@@ -1,0 +1,113 @@
+#include "ldcf/analysis/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/topology/tree.hpp"
+
+namespace ldcf::analysis {
+
+ProtocolPoint run_point(const topology::Topology& topo,
+                        const std::string& protocol, DutyCycle duty,
+                        const ExperimentConfig& config) {
+  LDCF_REQUIRE(config.repetitions >= 1, "need at least one repetition");
+  ProtocolPoint point;
+  point.protocol = protocol;
+  point.duty_ratio = duty.ratio();
+  const auto reps = static_cast<double>(config.repetitions);
+  double delay_sum_sq = 0.0;
+  for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
+    sim::SimConfig run_config = config.base;
+    run_config.duty = duty;
+    run_config.seed = config.base.seed + rep;
+    const auto proto = protocols::make_protocol(protocol);
+    const sim::SimResult res = sim::run_simulation(topo, run_config, *proto);
+    delay_sum_sq += res.metrics.mean_total_delay() *
+                    res.metrics.mean_total_delay() / reps;
+    point.mean_delay += res.metrics.mean_total_delay() / reps;
+    point.mean_queueing_delay += res.metrics.mean_queueing_delay() / reps;
+    point.mean_transmission_delay +=
+        res.metrics.mean_transmission_delay() / reps;
+    point.failures +=
+        static_cast<double>(res.metrics.channel.failures()) / reps;
+    point.attempts +=
+        static_cast<double>(res.metrics.channel.attempts) / reps;
+    point.duplicates +=
+        static_cast<double>(res.metrics.channel.duplicates) / reps;
+    point.energy_total += res.energy.total / reps;
+    point.lifetime_slots +=
+        sim::estimate_lifetime_slots(res.tally, run_config.energy,
+                                     res.metrics.end_slot) /
+        reps;
+    point.all_covered = point.all_covered && res.metrics.all_covered;
+  }
+  point.delay_stddev = std::sqrt(
+      std::max(0.0, delay_sum_sq - point.mean_delay * point.mean_delay));
+  return point;
+}
+
+std::vector<ProtocolPoint> run_duty_sweep(
+    const topology::Topology& topo, const std::vector<std::string>& protocols,
+    const std::vector<double>& duty_ratios, const ExperimentConfig& config) {
+  std::vector<ProtocolPoint> points;
+  points.reserve(protocols.size() * duty_ratios.size());
+  for (const auto& protocol : protocols) {
+    for (const double ratio : duty_ratios) {
+      points.push_back(
+          run_point(topo, protocol, DutyCycle::from_ratio(ratio), config));
+    }
+  }
+  return points;
+}
+
+double effective_k(const topology::Topology& topo, KEstimate mode) {
+  LDCF_REQUIRE(topo.num_links() > 0, "topology has no links");
+  switch (mode) {
+    case KEstimate::kInverseMeanPrr:
+      return 1.0 / topo.mean_prr();
+    case KEstimate::kHarmonicMean: {
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        for (const topology::Link& l : topo.neighbors(n)) {
+          sum += 1.0 / l.prr;
+          ++count;
+        }
+      }
+      return sum / static_cast<double>(count);
+    }
+    case KEstimate::kTreeWeighted: {
+      const topology::Tree tree = topology::build_etx_tree(topo, 0);
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+        if (tree.parent[v] == kNoNode) continue;
+        sum += 1.0 / topo.prr(tree.parent[v], v).value();
+        ++count;
+      }
+      LDCF_REQUIRE(count > 0, "source reaches nothing");
+      return sum / static_cast<double>(count);
+    }
+  }
+  throw InvalidArgument("unknown k estimate mode");
+}
+
+PacketSeries run_packet_series(const topology::Topology& topo,
+                               const std::string& protocol,
+                               const sim::SimConfig& config) {
+  PacketSeries series;
+  series.protocol = protocol;
+  const auto proto = protocols::make_protocol(protocol);
+  const sim::SimResult res = sim::run_simulation(topo, config, *proto);
+  series.total_delay.reserve(res.metrics.packets.size());
+  for (const auto& rec : res.metrics.packets) {
+    series.total_delay.push_back(rec.total_delay());
+    series.queueing_delay.push_back(rec.queueing_delay());
+    series.transmission_delay.push_back(rec.transmission_delay());
+  }
+  return series;
+}
+
+}  // namespace ldcf::analysis

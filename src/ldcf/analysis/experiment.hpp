@@ -1,0 +1,71 @@
+// Experiment orchestration: the sweeps behind the paper's evaluation
+// figures, with optional multi-seed averaging.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/topology.hpp"
+
+namespace ldcf::analysis {
+
+/// One protocol's aggregate numbers for a single operating point.
+struct ProtocolPoint {
+  std::string protocol;
+  double duty_ratio = 0.0;
+  double mean_delay = 0.0;          ///< slots, averaged over packets & seeds.
+  double delay_stddev = 0.0;        ///< run-to-run spread of the mean delay.
+  double mean_queueing_delay = 0.0;
+  double mean_transmission_delay = 0.0;
+  double failures = 0.0;            ///< transmission failures per run.
+  double attempts = 0.0;
+  double duplicates = 0.0;
+  double energy_total = 0.0;
+  double lifetime_slots = 0.0;      ///< estimated from the hottest node.
+  bool all_covered = true;
+};
+
+struct ExperimentConfig {
+  sim::SimConfig base{};         ///< duty is overridden per sweep point.
+  std::uint32_t repetitions = 1; ///< seeds base.seed, base.seed+1, ...
+};
+
+/// Run one protocol at one duty cycle, averaged over repetitions.
+[[nodiscard]] ProtocolPoint run_point(const topology::Topology& topo,
+                                      const std::string& protocol,
+                                      DutyCycle duty,
+                                      const ExperimentConfig& config);
+
+/// The Fig. 10/11 sweep: every protocol at every duty ratio.
+[[nodiscard]] std::vector<ProtocolPoint> run_duty_sweep(
+    const topology::Topology& topo, const std::vector<std::string>& protocols,
+    const std::vector<double>& duty_ratios, const ExperimentConfig& config);
+
+/// Per-packet series for Fig. 9: one run, delays indexed by packet.
+struct PacketSeries {
+  std::string protocol;
+  std::vector<std::uint64_t> total_delay;
+  std::vector<std::uint64_t> queueing_delay;
+  std::vector<std::uint64_t> transmission_delay;
+};
+[[nodiscard]] PacketSeries run_packet_series(const topology::Topology& topo,
+                                             const std::string& protocol,
+                                             const sim::SimConfig& config);
+
+/// Reductions of a heterogeneous trace to the §IV-B homogeneous k-class
+/// model (the paper handles heterogeneity "by the simulation"; these are
+/// the standard ways to pick the k to compare against).
+enum class KEstimate {
+  kInverseMeanPrr,  ///< 1 / mean(PRR): optimistic, junk links dilute it.
+  kHarmonicMean,    ///< mean(1/PRR): pessimistic, junk links dominate it.
+  kTreeWeighted,    ///< mean(1/PRR) over ETX-tree edges: the links that
+                    ///< actually carry flooding traffic.
+};
+
+/// Expected transmissions per delivery for the trace under the chosen
+/// reduction. Throws InvalidArgument on a linkless topology.
+[[nodiscard]] double effective_k(const topology::Topology& topo,
+                                 KEstimate mode);
+
+}  // namespace ldcf::analysis

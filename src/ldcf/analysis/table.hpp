@@ -1,0 +1,35 @@
+// Fixed-width ASCII tables and CSV emission for the benches/examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ldcf::analysis {
+
+/// Minimal column-aligned table builder. Cells are strings; numeric helpers
+/// format with sensible defaults.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  [[nodiscard]] static std::string num(double value, int precision = 1);
+  [[nodiscard]] static std::string num(std::uint64_t value);
+
+  /// Column-aligned output with a header separator.
+  void print(std::ostream& out) const;
+
+  /// Comma-separated output (header + rows).
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ldcf::analysis

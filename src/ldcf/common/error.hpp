@@ -1,0 +1,49 @@
+// Error handling: precondition checks that throw, so misuse surfaces in tests
+// instead of corrupting a long simulation run.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ldcf {
+
+/// Thrown on violated API preconditions (bad config, out-of-range ids, ...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant breaks (a bug, not a user error).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": requirement (" + expr + ") failed" +
+                        (msg.empty() ? "" : ": " + msg));
+}
+[[noreturn]] inline void throw_internal(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) +
+                      ": invariant (" + expr + ") broken" +
+                      (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+/// Validate a caller-supplied argument; throws InvalidArgument on failure.
+#define LDCF_REQUIRE(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) ::ldcf::detail::throw_invalid(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant; throws InternalError on failure.
+#define LDCF_CHECK(expr, msg)                                          \
+  do {                                                                 \
+    if (!(expr)) ::ldcf::detail::throw_internal(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+}  // namespace ldcf

@@ -1,0 +1,43 @@
+#include "ldcf/common/math_utils.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf {
+
+std::uint32_t ceil_log2(std::uint64_t x) {
+  LDCF_REQUIRE(x >= 1, "ceil_log2 requires x >= 1");
+  return static_cast<std::uint32_t>(std::bit_width(x - 1));
+}
+
+std::uint32_t floor_log2(std::uint64_t x) {
+  LDCF_REQUIRE(x >= 1, "floor_log2 requires x >= 1");
+  return static_cast<std::uint32_t>(std::bit_width(x) - 1);
+}
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol, int max_iter) {
+  LDCF_REQUIRE(lo < hi, "bisect requires lo < hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  LDCF_REQUIRE(flo == 0.0 || fhi == 0.0 || (flo < 0.0) != (fhi < 0.0),
+               "bisect requires f(lo), f(hi) to bracket a root");
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  for (int i = 0; i < max_iter && (hi - lo) > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ldcf

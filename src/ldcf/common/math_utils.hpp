@@ -1,0 +1,38 @@
+// Small numeric helpers used across the theory and analysis modules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ldcf {
+
+/// ceil(log2(x)) for x >= 1. ceil_log2(1) == 0.
+[[nodiscard]] std::uint32_t ceil_log2(std::uint64_t x);
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] std::uint32_t floor_log2(std::uint64_t x);
+
+/// True iff x is a power of two (x >= 1).
+[[nodiscard]] constexpr bool is_power_of_two(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Find a root of f in [lo, hi] by bisection; f(lo) and f(hi) must bracket
+/// the root (opposite signs). Tolerance is on the argument.
+[[nodiscard]] double bisect(const std::function<double(double)>& f, double lo,
+                            double hi, double tol = 1e-12,
+                            int max_iter = 200);
+
+/// Sample mean of a range accessed through a projection.
+template <typename Range, typename Proj>
+[[nodiscard]] double mean_of(const Range& range, Proj proj) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& v : range) {
+    sum += static_cast<double>(proj(v));
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace ldcf

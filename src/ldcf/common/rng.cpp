@@ -1,0 +1,38 @@
+#include "ldcf/common/rng.hpp"
+
+#include <cmath>
+
+namespace ldcf {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire rejection: unbiased mapping of a 64-bit draw into [0, bound).
+  while (true) {
+    const std::uint64_t x = next();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+    const auto lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= static_cast<std::uint64_t>(-static_cast<std::int64_t>(bound)) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+}  // namespace ldcf

@@ -1,0 +1,88 @@
+// Deterministic pseudo-random generation for simulations.
+//
+// One Rng per run, seeded explicitly, so a (topology seed, schedule seed,
+// channel seed) triple reproduces a run bit-for-bit. Xoshiro256** is fast and
+// passes BigCrush; SplitMix64 expands a single 64-bit seed into the state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ldcf {
+
+/// SplitMix64 — used to seed Xoshiro and to derive independent substream
+/// seeds from a master seed.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept;
+
+  /// Derive an independent substream seed (stable across calls in order).
+  std::uint64_t fork_seed() noexcept { return next() ^ 0xa5a5a5a5a5a5a5a5ULL; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace ldcf

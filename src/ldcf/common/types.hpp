@@ -1,0 +1,56 @@
+// Core vocabulary types shared by every ldcf module.
+//
+// The paper's model (§III) is slotted: all timing quantities are integer slot
+// counts. We keep node/packet/slot indices as distinct strong aliases so that
+// a packet index can never silently be used where a node id is expected.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ldcf {
+
+/// Index of a node. The flooding source is always node 0; nominal sensors are
+/// numbered 1..N (paper §III-A).
+using NodeId = std::uint32_t;
+
+/// Index of a flooded packet, 0-based in generation order.
+using PacketId = std::uint32_t;
+
+/// Slot index on the *original* time scale (t in the paper).
+using SlotIndex = std::uint64_t;
+
+/// Slot index on the *compact* time scale (c in the paper): only slots in
+/// which a transmission actually happens are counted.
+using CompactSlot = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no packet" (the paper's NIL in Algorithm 1).
+inline constexpr PacketId kNoPacket = std::numeric_limits<PacketId>::max();
+
+/// Sentinel slot meaning "never happened / not yet".
+inline constexpr SlotIndex kNeverSlot = std::numeric_limits<SlotIndex>::max();
+
+/// Duty-cycle configuration. The paper's normalized model (§III-A) uses one
+/// active slot per period of `period` slots, so the duty ratio is 1/period.
+struct DutyCycle {
+  std::uint32_t period = 20;  ///< T: slots per working-schedule period.
+
+  /// Duty ratio 1/T, e.g. period=20 -> 0.05 (5%).
+  [[nodiscard]] constexpr double ratio() const noexcept {
+    return 1.0 / static_cast<double>(period);
+  }
+
+  /// Build from a ratio like 0.05; rounds T to the nearest integer >= 1.
+  [[nodiscard]] static constexpr DutyCycle from_ratio(double r) noexcept {
+    const double t = (r <= 0.0) ? 1.0 : 1.0 / r;
+    auto period = static_cast<std::uint32_t>(t + 0.5);
+    return DutyCycle{period == 0 ? 1u : period};
+  }
+
+  friend constexpr bool operator==(const DutyCycle&, const DutyCycle&) = default;
+};
+
+}  // namespace ldcf

@@ -1,0 +1,65 @@
+// Duty-cycle configuration — the paper's first future-work item (§VI):
+// "figure out how to configure the duty cycle length such that the obtained
+// networking gains can be maximized".
+//
+// The trade: lifetime grows ~linearly with the period T (energy is
+// dominated by the schedule) while the flooding delay grows superlinearly
+// as the duty ratio shrinks (sleep latency multiplied by link loss, §IV-B).
+// We define the networking gain as lifetime / delay^alpha and offer both an
+// analytic optimizer (closed forms from ldcf::theory, instant) and a
+// simulation-driven one (ground truth, slower).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldcf/common/types.hpp"
+#include "ldcf/sim/energy.hpp"
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/topology.hpp"
+
+namespace ldcf::optimize {
+
+/// How to score an operating point.
+struct GainModel {
+  double delay_exponent = 1.0;  ///< gain = lifetime / delay^alpha.
+  double coverage = 0.99;       ///< coverage fraction for the delay term.
+};
+
+/// One scored operating point.
+struct DutyPoint {
+  DutyCycle duty{};
+  double delay_slots = 0.0;     ///< per-packet flooding delay estimate.
+  double lifetime_slots = 0.0;  ///< network lifetime estimate.
+  double gain = 0.0;
+};
+
+struct OptimizationResult {
+  DutyPoint best{};
+  std::vector<DutyPoint> scanned;  ///< every candidate, in input order.
+};
+
+/// Analytic model: delay(T) = single-packet k-class cover time (the §IV-B
+/// eigenvalue prediction) plus the Theorem-1 pipeline term T(M-1)/2 ...
+/// i.e. the steady-state per-packet delay when M packets are flooded;
+/// lifetime(T) = idle schedule lifetime. Scans the given periods.
+[[nodiscard]] OptimizationResult optimize_analytic(
+    std::uint64_t num_sensors, std::uint64_t num_packets, double k_class,
+    const std::vector<std::uint32_t>& periods, const sim::EnergyModel& energy,
+    const GainModel& gain = {});
+
+/// Simulation-driven: run the named protocol at every candidate duty ratio
+/// and score measured delay/lifetime. Ground truth for the analytic model.
+[[nodiscard]] OptimizationResult optimize_simulated(
+    const topology::Topology& topo, const std::string& protocol,
+    const std::vector<double>& duty_ratios, const sim::SimConfig& base_config,
+    const GainModel& gain = {});
+
+/// The analytic per-packet delay estimate used by optimize_analytic,
+/// exposed for tests and benches.
+[[nodiscard]] double analytic_delay(std::uint64_t num_sensors,
+                                    std::uint64_t num_packets, double k_class,
+                                    DutyCycle duty, double coverage);
+
+}  // namespace ldcf::optimize

@@ -1,0 +1,108 @@
+#include "ldcf/protocols/cross_layer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldcf::protocols {
+
+void CrossLayerFlooding::initialize(const SimContext& ctx) {
+  DbaoFlooding::initialize(ctx);
+  delay_tree_ = topology::build_delay_tree(*ctx.topo, ctx.source, ctx.duty);
+  delay_ = topology::tree_delay_distribution(*ctx.topo, delay_tree_, ctx.duty);
+  generated_at_.assign(ctx.num_packets, kNeverSlot);
+  gambled_.assign(ctx.topo->num_nodes(),
+                  std::vector<std::vector<NodeId>>(ctx.num_packets));
+}
+
+void CrossLayerFlooding::on_generate(PacketId packet, SlotIndex slot) {
+  generated_at_[packet] = slot;
+  DbaoFlooding::on_generate(packet, slot);
+}
+
+bool CrossLayerFlooding::gamble_worthwhile(NodeId receiver, PacketId packet,
+                                           SlotIndex slot,
+                                           double link_prr) const {
+  if (link_prr < config_.min_link_prr) return false;
+  if (generated_at_[packet] == kNeverSlot) return false;
+  const double mean = delay_.mean[receiver];
+  if (std::isinf(mean)) return false;
+  // Optimistic tree ETA for this packet at the receiver.
+  const double eta =
+      static_cast<double>(generated_at_[packet]) + mean -
+      config_.quantile_z * std::sqrt(delay_.variance[receiver]);
+  // Duty-aware window: gamble only while the tree is still at least
+  // min_remaining_periods * T away.
+  const double window =
+      config_.min_remaining_periods * static_cast<double>(ctx().duty.period);
+  return static_cast<double>(slot) + window < eta;
+}
+
+void CrossLayerFlooding::propose_transmissions(
+    SlotIndex slot, std::span<const NodeId> active_receivers,
+    std::vector<TxIntent>& out) {
+  // MAC layer first: DBAO's scheduled traffic with back-off/overhearing.
+  DbaoFlooding::propose_transmissions(slot, active_receivers, out);
+
+  const auto& topo = *ctx().topo;
+  const auto& schedules = *ctx().schedules;
+
+  std::vector<bool> busy(topo.num_nodes(), false);
+  std::vector<bool> targeted(topo.num_nodes(), false);
+  for (const TxIntent& intent : out) {
+    busy[intent.sender] = true;
+    targeted[intent.receiver] = true;
+  }
+
+  // Opportunistic layer: idle nodes may gamble their newest packet toward
+  // an awake, untargeted, non-responsible neighbor.
+  std::vector<TxIntent> gambles;
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  for (NodeId node = 0; node < n; ++node) {
+    if (busy[node]) continue;
+    if (targeted[node]) continue;  // it is about to receive; stay silent.
+    TxIntent gamble{};
+    double best_prr = -1.0;
+    for (const topology::Link& link : topo.neighbors(node)) {
+      const NodeId j = link.to;
+      if (!schedules.is_active(j, slot)) continue;
+      if (targeted[j] || busy[j]) continue;  // MAC veto: channel claimed.
+      for (PacketId p = ctx().num_packets; p-- > 0;) {
+        if (!node_has(node, p)) continue;
+        const auto& tried = gambled_[node][p];
+        if (std::find(tried.begin(), tried.end(), j) != tried.end()) continue;
+        if (!gamble_worthwhile(j, p, slot, link.prr)) continue;
+        if (link.prr > best_prr) {
+          best_prr = link.prr;
+          gamble = TxIntent{node, j, p};
+        }
+        break;
+      }
+    }
+    if (best_prr > 0.0 && rng().bernoulli(best_prr)) {
+      gambles.push_back(gamble);
+    }
+  }
+
+  // Gambles can still contend with each other: carrier-sensed gamblers for
+  // the same receiver defer to the better link; hidden ones will collide.
+  for (std::size_t i = 0; i < gambles.size(); ++i) {
+    bool suppressed = false;
+    for (std::size_t j = 0; j < gambles.size() && !suppressed; ++j) {
+      if (i == j || gambles[i].receiver != gambles[j].receiver) continue;
+      const double pi = topo.prr(gambles[i].sender, gambles[i].receiver).value();
+      const double pj = topo.prr(gambles[j].sender, gambles[j].receiver).value();
+      const bool j_wins =
+          pj > pi || (pj == pi && gambles[j].sender < gambles[i].sender);
+      if (j_wins && carrier_sensed(gambles[i].sender, gambles[j].sender)) {
+        suppressed = true;
+      }
+    }
+    if (!suppressed) {
+      gambled_[gambles[i].sender][gambles[i].packet].push_back(
+          gambles[i].receiver);
+      out.push_back(gambles[i]);
+    }
+  }
+}
+
+}  // namespace ldcf::protocols

@@ -1,0 +1,170 @@
+#include "ldcf/protocols/dbao.hpp"
+
+#include <algorithm>
+
+#include "ldcf/topology/tree.hpp"
+
+namespace ldcf::protocols {
+
+void DbaoFlooding::initialize(const SimContext& ctx) {
+  PendingSetProtocol::initialize(ctx);
+  const auto& topo = *ctx.topo;
+
+  double max_link = 0.0;
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    for (const topology::Link& link : topo.neighbors(u)) {
+      max_link = std::max(max_link, topology::distance(topo.position(u),
+                                                       topo.position(link.to)));
+    }
+  }
+  cs_range_ = config_.cs_range_factor * max_link;
+
+  // Responsibility assignment: for each receiver keep its best reachable
+  // in-neighbors (falling back to all in-neighbors if none are reachable,
+  // so pathological traces still flood).
+  const auto hop = topo.hop_distances(ctx.source);
+  std::vector<std::vector<topology::Link>> in_links(topo.num_nodes());
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    for (const topology::Link& link : topo.neighbors(u)) {
+      in_links[link.to].push_back(topology::Link{u, link.prr});
+    }
+  }
+  responsible_.assign(topo.num_nodes(), {});
+  for (NodeId r = 0; r < topo.num_nodes(); ++r) {
+    if (r == ctx.source) continue;  // nobody needs to serve the source.
+    auto& candidates = in_links[r];
+    auto reachable_end = std::partition(
+        candidates.begin(), candidates.end(),
+        [&](const topology::Link& l) { return hop[l.to] != kNeverSlot; });
+    auto begin = candidates.begin();
+    auto end = reachable_end == candidates.begin() ? candidates.end()
+                                                   : reachable_end;
+    std::sort(begin, end, [](const topology::Link& a, const topology::Link& b) {
+      return a.prr > b.prr || (a.prr == b.prr && a.to < b.to);
+    });
+    const std::size_t keep =
+        std::min<std::size_t>(config_.responsible_senders,
+                              static_cast<std::size_t>(end - begin));
+    for (std::size_t i = 0; i < keep; ++i) {
+      responsible_[begin[static_cast<std::ptrdiff_t>(i)].to].push_back(r);
+    }
+  }
+
+  // The top-k responsibility subgraph alone need not span the network;
+  // adding every node's ETX-tree parent guarantees a delivery path from the
+  // source to each reachable sensor.
+  const topology::Tree tree = topology::build_etx_tree(topo, ctx.source);
+  for (NodeId r = 0; r < topo.num_nodes(); ++r) {
+    const NodeId parent = tree.parent[r];
+    if (parent == kNoNode) continue;
+    auto& served = responsible_[parent];
+    if (std::find(served.begin(), served.end(), r) == served.end()) {
+      served.push_back(r);
+    }
+  }
+  deferred_.clear();
+}
+
+void DbaoFlooding::enqueue_forwarding(NodeId node, PacketId packet,
+                                      NodeId from) {
+  for (const NodeId r : responsible_[node]) {
+    if (r == from) continue;
+    pend(node, packet, r);
+  }
+}
+
+bool DbaoFlooding::carrier_sensed(NodeId a, NodeId b) const {
+  const auto& topo = *ctx().topo;
+  if (topo.has_link(a, b) || topo.has_link(b, a)) return true;
+  return topology::distance(topo.position(a), topo.position(b)) <= cs_range_;
+}
+
+void DbaoFlooding::propose_transmissions(
+    SlotIndex slot, std::span<const NodeId> /*active_receivers*/,
+    std::vector<TxIntent>& out) {
+  const auto& topo = *ctx().topo;
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  deferred_.clear();
+
+  // Phase 1: every node picks its FCFS candidate for this slot.
+  struct Candidate {
+    TxIntent intent;
+    double prr = 0.0;
+    bool suppressed = false;
+  };
+  std::vector<Candidate> candidates;
+  for (NodeId node = 0; node < n; ++node) {
+    if (const auto intent = select_fcfs(node, slot)) {
+      const double prr = topo.prr(intent->sender, intent->receiver).value();
+      candidates.push_back(Candidate{*intent, prr, false});
+    }
+  }
+
+  // Phase 2: deterministic back-off among carrier-sensed contenders for the
+  // same receiver — the best link transmits, the rest defer and listen in.
+  // Contenders outside carrier-sense range stay and will collide (hidden
+  // terminals, the residual gap to OPT in Fig. 10).
+  for (std::size_t i = 0;
+       config_.deterministic_backoff && i < candidates.size(); ++i) {
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (i == j) continue;
+      const Candidate& a = candidates[i];
+      const Candidate& b = candidates[j];
+      if (a.intent.receiver != b.intent.receiver) continue;
+      const bool b_ranks_higher =
+          b.prr > a.prr ||
+          (b.prr == a.prr && b.intent.sender < a.intent.sender);
+      if (!b_ranks_higher) continue;
+      if (carrier_sensed(a.intent.sender, b.intent.sender)) {
+        candidates[i].suppressed = true;
+        deferred_.emplace_back(a.intent.sender, a.intent.receiver);
+        break;
+      }
+    }
+  }
+
+  // Phase 3: semi-duplex resolution. The deterministic back-off assignment
+  // staggers transmission starts, so a node that hears a preamble addressed
+  // to it aborts its own pending transmission (reception is why it woke),
+  // and a sender that hears its receiver start transmitting defers
+  // silently. Committing candidates in a fixed order makes this
+  // deadlock-free: the first candidate always proceeds.
+  std::vector<bool> committed_tx(topo.num_nodes(), false);
+  std::vector<bool> reserved_rx(topo.num_nodes(), false);
+  for (Candidate& c : candidates) {
+    if (c.suppressed) continue;
+    if (reserved_rx[c.intent.sender] || committed_tx[c.intent.receiver]) {
+      c.suppressed = true;
+      deferred_.emplace_back(c.intent.sender, c.intent.receiver);
+      continue;
+    }
+    committed_tx[c.intent.sender] = true;
+    reserved_rx[c.intent.receiver] = true;
+  }
+
+  for (const Candidate& c : candidates) {
+    if (!c.suppressed) out.push_back(c.intent);
+  }
+}
+
+void DbaoFlooding::on_outcome(const TxResult& result, SlotIndex slot) {
+  PendingSetProtocol::on_outcome(result, slot);
+  if (result.outcome != TxOutcome::kDelivered) return;
+  // Deferred contenders stayed awake listening to the winner's exchange:
+  // once they hear the receiver's ACK they drop their own copy of that
+  // packet for this receiver.
+  for (const auto& [deferred_sender, receiver] : deferred_) {
+    if (receiver == result.intent.receiver) {
+      unpend(deferred_sender, result.intent.packet, receiver);
+    }
+  }
+}
+
+void DbaoFlooding::on_overhear(NodeId listener, NodeId sender, PacketId packet,
+                               SlotIndex /*slot*/) {
+  // The listener now knows the transmitter holds the packet: no point
+  // forwarding it back.
+  unpend(listener, packet, sender);
+}
+
+}  // namespace ldcf::protocols

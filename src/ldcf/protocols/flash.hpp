@@ -1,0 +1,54 @@
+// Broadcast ("flash") flooding — the [17]-style comparator.
+//
+// Lu & Whitehouse's Flash Flooding broadcasts aggressively and leans on the
+// capture effect to survive concurrent transmissions. In an always-on
+// network that is extremely fast; the paper argues (§III-B) that under low
+// duty cycles broadcasting is a poor primitive because barely anyone is
+// awake to hear any given transmission — flooding degenerates to unicasts.
+// This protocol exists to quantify that claim: each node re-broadcasts every
+// packet it holds a bounded number of times at randomized slots; listeners
+// decode when the channel lets them (enable SimConfig::capture_ratio to give
+// it its capture advantage).
+#pragma once
+
+#include <vector>
+
+#include "ldcf/protocols/protocol.hpp"
+
+namespace ldcf::protocols {
+
+struct FlashConfig {
+  /// Re-broadcast budget per (node, packet), in multiples of the period:
+  /// budget = ceil(budget_periods * T). With one listener expected per
+  /// ~T/degree slots, a couple of periods' worth of shots reaches most
+  /// neighbors.
+  double budget_periods = 3.0;
+  /// Probability of actually firing in an eligible slot (desynchronizes
+  /// neighbors that obtained the packet in the same slot).
+  double fire_probability = 0.35;
+};
+
+class FlashFlooding final : public PendingSetProtocol {
+ public:
+  FlashFlooding() = default;
+  explicit FlashFlooding(const FlashConfig& config) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const override { return "flash"; }
+
+  void initialize(const SimContext& ctx) override;
+  void propose_transmissions(SlotIndex slot,
+                             std::span<const NodeId> active_receivers,
+                             std::vector<TxIntent>& out) override;
+
+ protected:
+  /// No unicast pending sets: everything is broadcast.
+  void enqueue_forwarding(NodeId node, PacketId packet, NodeId from) override;
+
+ private:
+  FlashConfig config_{};
+  std::uint64_t budget_per_packet_ = 0;
+  /// Remaining broadcast budget per node per packet.
+  std::vector<std::vector<std::uint64_t>> budget_;
+};
+
+}  // namespace ldcf::protocols

@@ -1,0 +1,16 @@
+#include "ldcf/protocols/naive.hpp"
+
+namespace ldcf::protocols {
+
+void NaiveFlooding::propose_transmissions(
+    SlotIndex slot, std::span<const NodeId> /*active_receivers*/,
+    std::vector<TxIntent>& out) {
+  const auto n = static_cast<NodeId>(ctx().topo->num_nodes());
+  for (NodeId node = 0; node < n; ++node) {
+    if (const auto intent = select_fcfs(node, slot)) {
+      out.push_back(*intent);
+    }
+  }
+}
+
+}  // namespace ldcf::protocols

@@ -1,0 +1,22 @@
+// Naive duty-cycle flooding baseline.
+//
+// Every node forwards every packet to every neighbor, FCFS, with no
+// coordination whatsoever: no carrier sensing, no overhearing, no
+// opportunism. Collisions and duplicate traffic are rampant — this is the
+// strawman the tailored protocols improve on.
+#pragma once
+
+#include "ldcf/protocols/protocol.hpp"
+
+namespace ldcf::protocols {
+
+class NaiveFlooding final : public PendingSetProtocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "naive"; }
+
+  void propose_transmissions(SlotIndex slot,
+                             std::span<const NodeId> active_receivers,
+                             std::vector<TxIntent>& out) override;
+};
+
+}  // namespace ldcf::protocols

@@ -1,0 +1,98 @@
+#include "ldcf/protocols/opportunistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::protocols {
+
+void OpportunisticFlooding::initialize(const SimContext& ctx) {
+  PendingSetProtocol::initialize(ctx);
+  tree_ = topology::build_etx_tree(*ctx.topo, ctx.source);
+  children_ = tree_.children();
+  delay_ = topology::tree_delay_distribution(*ctx.topo, tree_, ctx.duty);
+  generated_at_.assign(ctx.num_packets, kNeverSlot);
+  gambled_.assign(ctx.topo->num_nodes(),
+                  std::vector<std::vector<NodeId>>(ctx.num_packets));
+}
+
+void OpportunisticFlooding::on_generate(PacketId packet, SlotIndex slot) {
+  generated_at_[packet] = slot;
+  PendingSetProtocol::on_generate(packet, slot);
+}
+
+void OpportunisticFlooding::enqueue_forwarding(NodeId node, PacketId packet,
+                                               NodeId /*from*/) {
+  // Deterministic traffic follows the energy tree only.
+  for (const NodeId child : children_[node]) {
+    pend(node, packet, child);
+  }
+}
+
+bool OpportunisticFlooding::opportunistic_worthwhile(NodeId receiver,
+                                                     PacketId packet,
+                                                     SlotIndex slot,
+                                                     double link_prr) const {
+  if (link_prr < config_.min_link_prr) return false;
+  if (generated_at_[packet] == kNeverSlot) return false;
+  const double mean = delay_.mean[receiver];
+  if (std::isinf(mean)) return false;  // not on the tree: no baseline.
+  const double lower_quantile =
+      mean - config_.quantile_z * std::sqrt(delay_.variance[receiver]);
+  // Worth gambling only if the copy arrives before even an optimistic tree
+  // delivery (high confidence the tree has not served this node yet).
+  const double tree_eta =
+      static_cast<double>(generated_at_[packet]) + lower_quantile;
+  return static_cast<double>(slot + 1) < tree_eta;
+}
+
+void OpportunisticFlooding::propose_transmissions(
+    SlotIndex slot, std::span<const NodeId> /*active_receivers*/,
+    std::vector<TxIntent>& out) {
+  const auto& topo = *ctx().topo;
+  const auto& schedules = *ctx().schedules;
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  const auto phase =
+      static_cast<std::uint32_t>(slot % ctx().duty.period);
+
+  for (NodeId node = 0; node < n; ++node) {
+    // Tree traffic has strict priority (it carries the delivery guarantee).
+    if (const auto intent = select_fcfs(node, slot)) {
+      out.push_back(*intent);
+      continue;
+    }
+    // Otherwise consider one opportunistic gamble toward an awake
+    // non-tree neighbor, newest packets first.
+    TxIntent gamble{};
+    double best_prr = -1.0;
+    for (const topology::Link& link : topo.neighbors(node)) {
+      const NodeId j = link.to;
+      if (schedules.active_slot(j) != phase) continue;
+      if (j == tree_.parent[node]) continue;
+      if (std::find(children_[node].begin(), children_[node].end(), j) !=
+          children_[node].end()) {
+        continue;  // tree children go through the pending machinery.
+      }
+      // Newest held packet whose tree ETA at j is still far out.
+      for (PacketId p = ctx().num_packets; p-- > 0;) {
+        if (!node_has(node, p)) continue;
+        const auto& tried = gambled_[node][p];
+        if (std::find(tried.begin(), tried.end(), j) != tried.end()) continue;
+        if (!opportunistic_worthwhile(j, p, slot, link.prr)) continue;
+        if (link.prr > best_prr) {
+          best_prr = link.prr;
+          gamble = TxIntent{node, j, p};
+        }
+        break;  // newest qualifying packet for this neighbor.
+      }
+    }
+    if (best_prr > 0.0 &&
+        rng().bernoulli(config_.decision_scale * best_prr)) {
+      gambled_[gamble.sender][gamble.packet].push_back(gamble.receiver);
+      out.push_back(gamble);
+    }
+  }
+}
+
+}  // namespace ldcf::protocols

@@ -1,0 +1,97 @@
+#include "ldcf/protocols/opt.hpp"
+
+#include <algorithm>
+
+#include "ldcf/topology/tree.hpp"
+
+namespace ldcf::protocols {
+
+void OptFlooding::initialize(const SimContext& ctx) {
+  PendingSetProtocol::initialize(ctx);
+  first_missing_.assign(ctx.topo->num_nodes(), 0);
+  generated_ = 0;
+  in_neighbors_.assign(ctx.topo->num_nodes(), {});
+  best_in_prr_.assign(ctx.topo->num_nodes(), 0.0);
+  // The quality floor below must only count *upstream* senders — neighbors
+  // strictly closer to the source in ETX terms, who obtain packets without
+  // going through the receiver. Anchoring it on an arbitrary in-neighbor
+  // can deadlock: two fringe nodes whose only good links point at each
+  // other would wait for one another forever.
+  const topology::Tree tree = topology::build_etx_tree(*ctx.topo, ctx.source);
+  for (NodeId u = 0; u < ctx.topo->num_nodes(); ++u) {
+    for (const topology::Link& link : ctx.topo->neighbors(u)) {
+      in_neighbors_[link.to].push_back(topology::Link{u, link.prr});
+      if (tree.cost[u] < tree.cost[link.to]) {
+        best_in_prr_[link.to] = std::max(best_in_prr_[link.to], link.prr);
+      }
+    }
+  }
+}
+
+void OptFlooding::on_generate(PacketId packet, SlotIndex slot) {
+  PendingSetProtocol::on_generate(packet, slot);
+  generated_ = packet + 1;
+}
+
+void OptFlooding::enqueue_forwarding(NodeId /*node*/, PacketId /*packet*/,
+                                     NodeId /*from*/) {
+  // Intentionally empty: the oracle matches receivers to senders directly.
+}
+
+void OptFlooding::propose_transmissions(
+    SlotIndex /*slot*/, std::span<const NodeId> active_receivers,
+    std::vector<TxIntent>& out) {
+  const auto& topo = *ctx().topo;
+
+  // Nodes already claimed this slot as sender or receiver (semi-duplex).
+  std::vector<bool> sending(topo.num_nodes(), false);
+  std::vector<bool> receiving(topo.num_nodes(), false);
+
+  // Serve the most-constrained receivers first: a receiver with few viable
+  // senders must grab its sender before better-connected receivers consume
+  // the pool (classic matching heuristic; receiver-id order leaves
+  // avoidable conflicts on the table).
+  std::vector<std::pair<std::uint32_t, NodeId>> order;
+  order.reserve(active_receivers.size());
+  for (const NodeId r : active_receivers) {
+    PacketId& cursor = first_missing_[r];
+    while (cursor < generated_ && node_has(r, cursor)) ++cursor;
+    std::uint32_t options = 0;
+    const double floor_prr = config_.quality_floor_factor * best_in_prr_[r];
+    for (const topology::Link& in : in_neighbors_[r]) {
+      if (in.prr >= floor_prr) ++options;
+    }
+    order.emplace_back(options, r);
+  }
+  std::sort(order.begin(), order.end());
+
+  for (const auto& [options, r] : order) {
+    if (sending[r]) continue;  // it already transmits this slot.
+    const PacketId cursor = first_missing_[r];
+    // Oldest missing packet some free neighbor holds (FCFS order).
+    TxIntent chosen;
+    double best_prr = -1.0;
+    // Accept only near-best links: under sender contention the oracle
+    // waits one period rather than gambling on a poor fallback link.
+    const double floor_prr = config_.quality_floor_factor * best_in_prr_[r];
+    for (PacketId p = cursor; p < generated_ && best_prr < 0.0; ++p) {
+      if (node_has(r, p)) continue;
+      for (const topology::Link& in : in_neighbors_[r]) {
+        if (sending[in.to] || receiving[in.to]) continue;
+        if (!node_has(in.to, p)) continue;
+        if (in.prr < floor_prr) continue;
+        if (in.prr > best_prr) {
+          best_prr = in.prr;
+          chosen = TxIntent{in.to, r, p};
+        }
+      }
+    }
+    if (best_prr > 0.0) {
+      sending[chosen.sender] = true;
+      receiving[r] = true;
+      out.push_back(chosen);
+    }
+  }
+}
+
+}  // namespace ldcf::protocols

@@ -1,0 +1,123 @@
+#include "ldcf/protocols/protocol.hpp"
+
+#include <algorithm>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::protocols {
+
+void PendingSetProtocol::initialize(const SimContext& ctx) {
+  LDCF_REQUIRE(ctx.topo != nullptr && ctx.schedules != nullptr,
+               "incomplete simulation context");
+  ctx_ = &ctx;
+  rng_.emplace(ctx.seed);
+  has_.assign(ctx.topo->num_nodes(),
+              std::vector<bool>(ctx.num_packets, false));
+  buckets_.assign(ctx.topo->num_nodes(),
+                  std::vector<std::vector<PendingEntry>>(ctx.duty.period));
+}
+
+bool PendingSetProtocol::node_has(NodeId node, PacketId packet) const {
+  return has_[node][packet];
+}
+
+void PendingSetProtocol::pend(NodeId node, PacketId packet, NodeId neighbor) {
+  const auto prr = ctx_->topo->prr(node, neighbor);
+  LDCF_REQUIRE(prr.has_value(), "pend over a non-existent link");
+  auto& bucket = buckets_[node][ctx_->schedules->active_slot(neighbor)];
+  const bool already = std::any_of(
+      bucket.begin(), bucket.end(), [&](const PendingEntry& e) {
+        return e.packet == packet && e.neighbor == neighbor;
+      });
+  if (!already) bucket.push_back(PendingEntry{packet, neighbor, *prr});
+}
+
+void PendingSetProtocol::unpend(NodeId node, PacketId packet,
+                                NodeId neighbor) {
+  auto& bucket = buckets_[node][ctx_->schedules->active_slot(neighbor)];
+  std::erase_if(bucket, [&](const PendingEntry& e) {
+    return e.packet == packet && e.neighbor == neighbor;
+  });
+}
+
+const std::vector<PendingEntry>& PendingSetProtocol::pending_at_phase(
+    NodeId node, SlotIndex slot) const {
+  return buckets_[node][slot % ctx_->duty.period];
+}
+
+std::optional<TxIntent> PendingSetProtocol::select_fcfs(NodeId node,
+                                                        SlotIndex slot) const {
+  const auto& bucket = pending_at_phase(node, slot);
+  const PendingEntry* best = nullptr;
+  for (const PendingEntry& e : bucket) {
+    if (e.not_before > slot) continue;  // still backing off.
+    if (best == nullptr || e.packet < best->packet ||
+        (e.packet == best->packet && e.prr > best->prr)) {
+      best = &e;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return TxIntent{node, best->neighbor, best->packet};
+}
+
+std::size_t PendingSetProtocol::pending_count(NodeId node) const {
+  std::size_t total = 0;
+  for (const auto& bucket : buckets_[node]) total += bucket.size();
+  return total;
+}
+
+void PendingSetProtocol::enqueue_forwarding(NodeId node, PacketId packet,
+                                            NodeId from) {
+  for (const topology::Link& link : ctx_->topo->neighbors(node)) {
+    if (link.to == from) continue;
+    pend(node, packet, link.to);
+  }
+}
+
+void PendingSetProtocol::on_generate(PacketId packet, SlotIndex /*slot*/) {
+  has_[ctx_->source][packet] = true;
+  enqueue_forwarding(ctx_->source, packet, kNoNode);
+}
+
+void PendingSetProtocol::on_delivery(NodeId receiver, PacketId packet,
+                                     NodeId from, SlotIndex /*slot*/) {
+  has_[receiver][packet] = true;
+  enqueue_forwarding(receiver, packet, from);
+}
+
+void PendingSetProtocol::on_outcome(const TxResult& result, SlotIndex slot) {
+  // A link-layer ACK (even for a duplicate) retires the obligation; channel
+  // losses stay queued for the receiver's next active slot; collisions and
+  // busy receivers back off a random 1..3 periods to break the symmetry
+  // between deterministic contenders.
+  if (result.outcome == TxOutcome::kDelivered) {
+    unpend(result.intent.sender, result.intent.packet, result.intent.receiver);
+    return;
+  }
+  if (result.outcome == TxOutcome::kCollision ||
+      result.outcome == TxOutcome::kReceiverBusy) {
+    const auto period = ctx().duty.period;
+    auto& bucket =
+        buckets_[result.intent.sender]
+                [ctx().schedules->active_slot(result.intent.receiver)];
+    // Silence the whole sender->receiver pair: backing off only the packet
+    // that collided would let the next queued packet collide at the very
+    // next wakeup, so the contender crowd would never thin.
+    std::uint8_t exp = 0;
+    for (const PendingEntry& e : bucket) {
+      if (e.neighbor == result.intent.receiver) {
+        exp = std::max(exp, e.backoff_exp);
+      }
+    }
+    const std::uint64_t window = 1ULL << std::min<std::uint8_t>(exp, 6);
+    const SlotIndex resume = slot + (1 + rng().below(window)) * period;
+    for (PendingEntry& e : bucket) {
+      if (e.neighbor == result.intent.receiver) {
+        e.not_before = resume;
+        if (e.backoff_exp <= exp) e.backoff_exp = static_cast<std::uint8_t>(exp + 1);
+      }
+    }
+  }
+}
+
+}  // namespace ldcf::protocols

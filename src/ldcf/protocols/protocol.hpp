@@ -1,0 +1,89 @@
+// Shared machinery for distributed flooding protocols.
+//
+// Every practical scheme in the paper floods through per-sender "pending"
+// sets: when a node obtains a packet it queues (packet, neighbor) pairs and
+// serves them FCFS whenever the neighbor's active slot comes around (sleep
+// latency); a link-layer ACK retires a pair, a failure leaves it queued for
+// the receiver's next period. PendingSetProtocol implements that machinery
+// with per-phase buckets so each slot only touches the neighbors that are
+// actually awake.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ldcf/common/rng.hpp"
+#include "ldcf/sim/flooding_protocol.hpp"
+
+namespace ldcf::protocols {
+
+using sim::FloodingProtocol;
+using sim::SimContext;
+using sim::TxIntent;
+using sim::TxOutcome;
+using sim::TxResult;
+
+/// One queued unicast obligation of a node.
+struct PendingEntry {
+  PacketId packet = kNoPacket;
+  NodeId neighbor = kNoNode;
+  double prr = 0.0;
+  /// Earliest slot at which this pair may be retried. Collisions draw a
+  /// random backoff with an exponentially growing window — without
+  /// randomization, hidden senders that deterministically pick the same
+  /// receiver would collide at every one of its wakeups forever, and with a
+  /// fixed window a large hidden crowd never thins below two arrivals per
+  /// wakeup.
+  SlotIndex not_before = 0;
+  /// Consecutive collision/busy count; window = 2^min(exp, 6) periods.
+  std::uint8_t backoff_exp = 0;
+};
+
+/// Base class with possession mirrors and phase-bucketed pending sets.
+class PendingSetProtocol : public FloodingProtocol {
+ public:
+  void initialize(const SimContext& ctx) override;
+  void on_generate(PacketId packet, SlotIndex slot) override;
+  void on_delivery(NodeId receiver, PacketId packet, NodeId from,
+                   SlotIndex slot) override;
+  void on_outcome(const TxResult& result, SlotIndex slot) override;
+
+ protected:
+  [[nodiscard]] const SimContext& ctx() const { return *ctx_; }
+  [[nodiscard]] Rng& rng() { return *rng_; }
+
+  /// Local possession knowledge (exact mirror of engine deliveries).
+  [[nodiscard]] bool node_has(NodeId node, PacketId packet) const;
+
+  /// Queue (packet -> neighbor) at `node`. No-op if already queued.
+  void pend(NodeId node, PacketId packet, NodeId neighbor);
+
+  /// Retire a queued pair (no-op if absent).
+  void unpend(NodeId node, PacketId packet, NodeId neighbor);
+
+  /// Pending entries of `node` whose neighbor wakes at phase t mod T.
+  [[nodiscard]] const std::vector<PendingEntry>& pending_at_phase(
+      NodeId node, SlotIndex slot) const;
+
+  /// FCFS selection: the oldest pending packet among neighbors awake in this
+  /// slot; ties broken toward the best link. nullopt if nothing is due.
+  [[nodiscard]] std::optional<TxIntent> select_fcfs(NodeId node,
+                                                    SlotIndex slot) const;
+
+  /// Total queued pairs at a node (diagnostics/tests).
+  [[nodiscard]] std::size_t pending_count(NodeId node) const;
+
+  /// Hook: which neighbors to queue when `node` obtains `packet` from
+  /// `from`. Default: every out-neighbor except `from`.
+  virtual void enqueue_forwarding(NodeId node, PacketId packet, NodeId from);
+
+ private:
+  const SimContext* ctx_ = nullptr;
+  std::optional<Rng> rng_;
+  std::vector<std::vector<bool>> has_;  // [node][packet]
+  // buckets_[node][phase] -> pending entries for neighbors at that phase.
+  std::vector<std::vector<std::vector<PendingEntry>>> buckets_;
+};
+
+}  // namespace ldcf::protocols

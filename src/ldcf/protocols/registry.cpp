@@ -1,0 +1,27 @@
+#include "ldcf/protocols/registry.hpp"
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/protocols/cross_layer.hpp"
+#include "ldcf/protocols/dbao.hpp"
+#include "ldcf/protocols/flash.hpp"
+#include "ldcf/protocols/naive.hpp"
+#include "ldcf/protocols/opportunistic.hpp"
+#include "ldcf/protocols/opt.hpp"
+
+namespace ldcf::protocols {
+
+std::unique_ptr<sim::FloodingProtocol> make_protocol(std::string_view name) {
+  if (name == "opt") return std::make_unique<OptFlooding>();
+  if (name == "dbao") return std::make_unique<DbaoFlooding>();
+  if (name == "of") return std::make_unique<OpportunisticFlooding>();
+  if (name == "naive") return std::make_unique<NaiveFlooding>();
+  if (name == "xlayer") return std::make_unique<CrossLayerFlooding>();
+  if (name == "flash") return std::make_unique<FlashFlooding>();
+  throw InvalidArgument("unknown protocol: " + std::string(name));
+}
+
+std::vector<std::string> protocol_names() {
+  return {"of", "dbao", "opt", "naive", "xlayer", "flash"};
+}
+
+}  // namespace ldcf::protocols

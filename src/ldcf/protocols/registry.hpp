@@ -1,0 +1,21 @@
+// Protocol factory, keyed by the names the paper uses.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ldcf/sim/flooding_protocol.hpp"
+
+namespace ldcf::protocols {
+
+/// Construct a protocol by name: "opt", "dbao", "of", "naive".
+/// Throws InvalidArgument for unknown names.
+[[nodiscard]] std::unique_ptr<sim::FloodingProtocol> make_protocol(
+    std::string_view name);
+
+/// All registered protocol names, in the paper's comparison order.
+[[nodiscard]] std::vector<std::string> protocol_names();
+
+}  // namespace ldcf::protocols

@@ -1,0 +1,88 @@
+#include "ldcf/schedule/working_schedule.hpp"
+
+#include <algorithm>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::schedule {
+
+ScheduleSet::ScheduleSet(std::size_t num_nodes, DutyCycle duty, Rng& rng,
+                         std::uint32_t slots_per_period)
+    : duty_(duty), slots_per_period_(slots_per_period) {
+  LDCF_REQUIRE(num_nodes >= 1, "need at least one node");
+  LDCF_REQUIRE(duty.period >= 1, "period must be >= 1");
+  LDCF_REQUIRE(slots_per_period >= 1 && slots_per_period <= duty.period,
+               "active slots per period must be in [1, T]");
+  slots_.resize(num_nodes);
+  for (auto& node_slots : slots_) {
+    // Sample k distinct slots by rejection (k << T in practice).
+    while (node_slots.size() < slots_per_period) {
+      const auto slot = static_cast<std::uint32_t>(rng.below(duty.period));
+      if (std::find(node_slots.begin(), node_slots.end(), slot) ==
+          node_slots.end()) {
+        node_slots.push_back(slot);
+      }
+    }
+    std::sort(node_slots.begin(), node_slots.end());
+  }
+  build_buckets();
+}
+
+ScheduleSet::ScheduleSet(std::vector<std::uint32_t> active_slots,
+                         DutyCycle duty)
+    : duty_(duty), slots_per_period_(1) {
+  LDCF_REQUIRE(!active_slots.empty(), "need at least one node");
+  slots_.reserve(active_slots.size());
+  for (const auto slot : active_slots) {
+    LDCF_REQUIRE(slot < duty.period, "active slot outside period");
+    slots_.push_back({slot});
+  }
+  build_buckets();
+}
+
+void ScheduleSet::build_buckets() {
+  nodes_by_slot_.assign(duty_.period, {});
+  for (NodeId n = 0; n < slots_.size(); ++n) {
+    for (const auto slot : slots_[n]) {
+      nodes_by_slot_[slot].push_back(n);
+    }
+  }
+}
+
+std::uint32_t ScheduleSet::active_slot(NodeId n) const {
+  LDCF_REQUIRE(n < num_nodes(), "node out of range");
+  return slots_[n].front();
+}
+
+std::span<const std::uint32_t> ScheduleSet::active_slots(NodeId n) const {
+  LDCF_REQUIRE(n < num_nodes(), "node out of range");
+  return slots_[n];
+}
+
+bool ScheduleSet::is_active(NodeId n, SlotIndex t) const {
+  LDCF_REQUIRE(n < num_nodes(), "node out of range");
+  const auto phase = static_cast<std::uint32_t>(t % duty_.period);
+  return std::binary_search(slots_[n].begin(), slots_[n].end(), phase);
+}
+
+SlotIndex ScheduleSet::next_active_slot(NodeId n, SlotIndex t) const {
+  LDCF_REQUIRE(n < num_nodes(), "node out of range");
+  const auto phase = static_cast<std::uint32_t>(t % duty_.period);
+  const auto& slots = slots_[n];
+  // First active slot at or after the current phase, else wrap around.
+  const auto it = std::lower_bound(slots.begin(), slots.end(), phase);
+  if (it != slots.end()) return t + (*it - phase);
+  return t + (duty_.period - phase) + slots.front();
+}
+
+std::vector<NodeId> ScheduleSet::active_nodes(SlotIndex t) const {
+  return nodes_by_slot_[t % duty_.period];
+}
+
+double ScheduleSet::expected_sleep_latency() const {
+  const auto t = static_cast<double>(period());
+  const auto k = static_cast<double>(slots_per_period_);
+  return (t / k - 1.0) / 2.0;
+}
+
+}  // namespace ldcf::schedule

@@ -1,0 +1,82 @@
+// Working schedules — the active/dormant pattern of each sensor (§III-A).
+//
+// Under the paper's normalized duty-cycle model each sensor picks one active
+// slot uniformly at random inside a period of T slots and repeats it forever;
+// the duty ratio is 1/T. A generalized multi-slot variant (k distinct active
+// slots per period, duty ratio k/T) is provided for experiments outside the
+// paper's normalization. The source node is treated like every other node
+// for receiving, but any node may *wake up to transmit* at any slot —
+// receiving is what requires being active.
+//
+// Local synchronization (paper assumption) means every node knows its
+// neighbors' schedules; `next_active_slot` is exactly that query.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldcf/common/rng.hpp"
+#include "ldcf/common/types.hpp"
+
+namespace ldcf::schedule {
+
+/// The periodic schedules of all nodes in a network.
+class ScheduleSet {
+ public:
+  /// Random schedules with `slots_per_period` distinct active slots per
+  /// node (1 = the paper's normalized model).
+  ScheduleSet(std::size_t num_nodes, DutyCycle duty, Rng& rng,
+              std::uint32_t slots_per_period = 1);
+
+  /// Explicit single-slot schedules (active slot per node), for tests.
+  ScheduleSet(std::vector<std::uint32_t> active_slots, DutyCycle duty);
+
+  [[nodiscard]] std::size_t num_nodes() const { return slots_.size(); }
+  [[nodiscard]] DutyCycle duty() const { return duty_; }
+  [[nodiscard]] std::uint32_t period() const { return duty_.period; }
+  [[nodiscard]] std::uint32_t slots_per_period() const {
+    return slots_per_period_;
+  }
+
+  /// Actual duty ratio: slots_per_period / period.
+  [[nodiscard]] double duty_ratio() const {
+    return static_cast<double>(slots_per_period_) /
+           static_cast<double>(duty_.period);
+  }
+
+  /// The primary (first) active slot of node `n`. Protocols that bucket
+  /// obligations by wakeup phase use this slot; with multi-slot schedules
+  /// it is a conservative choice (the node is active then, and possibly at
+  /// other phases too).
+  [[nodiscard]] std::uint32_t active_slot(NodeId n) const;
+
+  /// All active slots of node `n`, ascending.
+  [[nodiscard]] std::span<const std::uint32_t> active_slots(NodeId n) const;
+
+  /// True iff node `n` is active (can receive) in absolute slot `t`.
+  [[nodiscard]] bool is_active(NodeId n, SlotIndex t) const;
+
+  /// Smallest t' >= t at which node `n` is active. This is the sender-side
+  /// "when can I reach this neighbor" query enabled by local
+  /// synchronization; the gap t' - t is the sleep latency.
+  [[nodiscard]] SlotIndex next_active_slot(NodeId n, SlotIndex t) const;
+
+  /// Nodes active in slot `t`, ascending by id.
+  [[nodiscard]] std::vector<NodeId> active_nodes(SlotIndex t) const;
+
+  /// Expected sleep latency (slots) from a uniformly random instant to a
+  /// node's next active slot. (T - 1) / 2 in the single-slot model; with k
+  /// evenly spread slots roughly (T/k - 1) / 2.
+  [[nodiscard]] double expected_sleep_latency() const;
+
+ private:
+  void build_buckets();
+
+  std::vector<std::vector<std::uint32_t>> slots_;   // sorted per node.
+  std::vector<std::vector<NodeId>> nodes_by_slot_;  // period buckets.
+  DutyCycle duty_{};
+  std::uint32_t slots_per_period_ = 1;
+};
+
+}  // namespace ldcf::schedule

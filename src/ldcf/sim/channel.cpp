@@ -1,0 +1,146 @@
+#include "ldcf/sim/channel.hpp"
+
+#include <algorithm>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::sim {
+
+SlotResolution resolve_slot(const topology::Topology& topo,
+                            const std::vector<TxIntent>& intents,
+                            const std::vector<NodeId>& active_receivers,
+                            const ChannelConfig& config, Rng& rng) {
+  SlotResolution out;
+  out.results.reserve(intents.size());
+  if (intents.empty()) return out;
+
+  // Index helpers for this slot.
+  std::vector<bool> transmitting(topo.num_nodes(), false);
+  std::vector<std::uint32_t> intents_on_receiver(topo.num_nodes(), 0);
+  bool any_broadcast = false;
+  for (const TxIntent& intent : intents) {
+    LDCF_CHECK(!transmitting[intent.sender],
+               "a sender proposed two intents in one slot");
+    transmitting[intent.sender] = true;
+    if (intent.is_broadcast()) {
+      any_broadcast = true;
+    } else {
+      ++intents_on_receiver[intent.receiver];
+    }
+  }
+
+  // A broadcast audible at a unicast addressee is interference there.
+  const auto broadcast_audible_at = [&](NodeId node) {
+    if (!any_broadcast) return false;
+    for (const TxIntent& intent : intents) {
+      if (intent.is_broadcast() && topo.has_link(intent.sender, node)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Capture pre-pass: for contested receivers, find the dominant unicast
+  // (if any) that survives the overlap.
+  std::vector<const TxIntent*> captured(topo.num_nodes(), nullptr);
+  if (config.collisions && config.capture_ratio > 0.0) {
+    std::vector<double> best(topo.num_nodes(), 0.0);
+    std::vector<double> second(topo.num_nodes(), 0.0);
+    std::vector<const TxIntent*> best_intent(topo.num_nodes(), nullptr);
+    for (const TxIntent& intent : intents) {
+      if (intent.is_broadcast()) continue;
+      const double prr = topo.prr(intent.sender, intent.receiver).value_or(0.0);
+      if (prr > best[intent.receiver]) {
+        second[intent.receiver] = best[intent.receiver];
+        best[intent.receiver] = prr;
+        best_intent[intent.receiver] = &intent;
+      } else if (prr > second[intent.receiver]) {
+        second[intent.receiver] = prr;
+      }
+    }
+    for (NodeId r = 0; r < topo.num_nodes(); ++r) {
+      if (intents_on_receiver[r] > 1 && best_intent[r] != nullptr &&
+          best[r] >= config.capture_ratio * second[r] &&
+          second[r] > 0.0) {
+        captured[r] = best_intent[r];
+      }
+    }
+  }
+
+  for (const TxIntent& intent : intents) {
+    TxResult result;
+    result.intent = intent;
+    if (intent.is_broadcast()) {
+      result.outcome = TxOutcome::kBroadcast;
+      out.results.push_back(result);
+      continue;
+    }
+    const bool survives_overlap =
+        intents_on_receiver[intent.receiver] <= 1 ||
+        captured[intent.receiver] == &intent;
+    if (transmitting[intent.receiver]) {
+      result.outcome = TxOutcome::kReceiverBusy;
+    } else if (config.collisions &&
+               (!survives_overlap || broadcast_audible_at(intent.receiver))) {
+      result.outcome = TxOutcome::kCollision;
+    } else {
+      const auto prr = topo.prr(intent.sender, intent.receiver);
+      LDCF_CHECK(prr.has_value(), "intent over a non-existent link");
+      result.outcome = rng.bernoulli(*prr * config.prr_scale)
+                           ? TxOutcome::kDelivered
+                           : TxOutcome::kLostChannel;
+    }
+    out.results.push_back(result);
+  }
+
+  if (!config.overhearing && !any_broadcast) return out;
+
+  // Listener pass: each active node that is neither transmitting nor the
+  // addressee of a unicast can decode whatever it hears — an overheard
+  // unicast or a broadcast. Count audible transmissions; with capture off,
+  // exactly one audible decodes with the link PRR; with capture on, a
+  // dominant one may survive a crowd.
+  for (const NodeId listener : active_receivers) {
+    if (transmitting[listener]) continue;
+    if (intents_on_receiver[listener] > 0) continue;  // it is an addressee.
+    const TxIntent* best = nullptr;
+    const TxIntent* audible = nullptr;
+    double best_prr = 0.0;
+    double second_prr = 0.0;
+    std::uint32_t audible_count = 0;
+    for (const TxIntent& intent : intents) {
+      const auto prr = topo.prr(intent.sender, listener);
+      if (!prr.has_value()) continue;
+      ++audible_count;
+      audible = &intent;
+      if (*prr > best_prr) {
+        second_prr = best_prr;
+        best_prr = *prr;
+        best = &intent;
+      } else if (*prr > second_prr) {
+        second_prr = *prr;
+      }
+    }
+    const TxIntent* decodable = nullptr;
+    if (audible_count == 1) {
+      decodable = audible;
+    } else if (audible_count > 1 && config.capture_ratio > 0.0 &&
+               best != nullptr && second_prr > 0.0 &&
+               best_prr >= config.capture_ratio * second_prr) {
+      decodable = best;  // capture: the dominant signal survives the crowd.
+    }
+    if (decodable == nullptr) continue;
+    // Unicast overhearing only happens when the protocol listens
+    // promiscuously; broadcasts are meant for everybody.
+    if (!decodable->is_broadcast() && !config.overhearing) continue;
+    const double prr =
+        topo.prr(decodable->sender, listener).value() * config.prr_scale;
+    if (rng.bernoulli(prr)) {
+      out.overhears.push_back(
+          OverhearEvent{listener, decodable->sender, decodable->packet});
+    }
+  }
+  return out;
+}
+
+}  // namespace ldcf::sim

@@ -1,0 +1,55 @@
+// Physical channel resolution for one slot.
+//
+// Rules (paper §III-B):
+//  * semi-duplex — a node that transmits cannot receive in the same slot;
+//  * unicast loss — each transmission independently succeeds with the
+//    link's PRR;
+//  * collision — two concurrent transmissions addressed to the same
+//    receiver destroy each other (no capture effect), unless the protocol
+//    runs in oracle mode (OPT assumes no collisions);
+//  * overhearing — an active node that is neither transmitting nor the
+//    addressee decodes an audible transmission with the link's PRR,
+//    provided exactly one transmission is audible to it (otherwise the
+//    overhear attempt is itself a collision).
+#pragma once
+
+#include <vector>
+
+#include "ldcf/common/rng.hpp"
+#include "ldcf/sim/flooding_protocol.hpp"
+#include "ldcf/topology/topology.hpp"
+
+namespace ldcf::sim {
+
+struct ChannelConfig {
+  bool collisions = true;    ///< same-receiver concurrent tx collide.
+  bool overhearing = false;  ///< model promiscuous reception.
+  double prr_scale = 1.0;    ///< link-quality multiplier (burst injection).
+  /// Capture effect (Flash-flooding-style, [17] in the paper): when several
+  /// transmissions target one receiver, the strongest survives *if* its
+  /// link quality exceeds the runner-up by at least this factor; 0 disables
+  /// capture (every same-receiver overlap is destructive).
+  double capture_ratio = 0.0;
+};
+
+/// One successful overhear: `listener` decoded `packet` sent by `sender`.
+struct OverhearEvent {
+  NodeId listener = kNoNode;
+  NodeId sender = kNoNode;
+  PacketId packet = kNoPacket;
+};
+
+struct SlotResolution {
+  std::vector<TxResult> results;
+  std::vector<OverhearEvent> overhears;
+};
+
+/// Resolve one slot's intents. `is_active(node)` must reflect the schedule;
+/// intents must already be validated (sender holds the packet, receiver is
+/// an active neighbor, at most one intent per sender).
+[[nodiscard]] SlotResolution resolve_slot(
+    const topology::Topology& topo, const std::vector<TxIntent>& intents,
+    const std::vector<NodeId>& active_receivers, const ChannelConfig& config,
+    Rng& rng);
+
+}  // namespace ldcf::sim

@@ -1,0 +1,49 @@
+#include "ldcf/sim/energy.hpp"
+
+#include <algorithm>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::sim {
+
+EnergyReport compute_energy(const ActivityTally& tally,
+                            const EnergyModel& model) {
+  const std::size_t n = tally.active_slots.size();
+  LDCF_REQUIRE(tally.dormant_slots.size() == n &&
+                   tally.tx_attempts.size() == n &&
+                   tally.receptions.size() == n,
+               "tally vectors must have equal length");
+  EnergyReport report;
+  report.per_node.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e =
+        model.listen_cost * static_cast<double>(tally.active_slots[i]) +
+        model.sleep_cost * static_cast<double>(tally.dormant_slots[i]) +
+        model.tx_cost * static_cast<double>(tally.tx_attempts[i]) +
+        model.rx_cost * static_cast<double>(tally.receptions[i]);
+    report.per_node[i] = e;
+    report.total += e;
+    report.max_node = std::max(report.max_node, e);
+  }
+  return report;
+}
+
+double estimate_lifetime_slots(const ActivityTally& tally,
+                               const EnergyModel& model,
+                               SlotIndex observed_slots) {
+  LDCF_REQUIRE(observed_slots > 0, "need a non-empty observation window");
+  const EnergyReport report = compute_energy(tally, model);
+  if (report.max_node <= 0.0) return 0.0;
+  const double per_slot =
+      report.max_node / static_cast<double>(observed_slots);
+  return model.battery_capacity / per_slot;
+}
+
+double idle_lifetime_slots(DutyCycle duty, const EnergyModel& model) {
+  const auto t = static_cast<double>(duty.period);
+  const double per_slot =
+      (model.listen_cost + (t - 1.0) * model.sleep_cost) / t;
+  return model.battery_capacity / per_slot;
+}
+
+}  // namespace ldcf::sim

@@ -1,0 +1,108 @@
+// The protocol <-> engine contract.
+//
+// The engine owns physical truth (who possesses what, what the channel did);
+// protocols own behaviour (who transmits what to whom each slot). A protocol
+// is centralized *code* simulating distributed behaviour: it may coordinate
+// internally only through information the real nodes would have (schedules
+// via local synchronization, link-layer ACKs, carrier sensing, overhearing).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ldcf/common/types.hpp"
+#include "ldcf/schedule/working_schedule.hpp"
+#include "ldcf/topology/topology.hpp"
+
+namespace ldcf::sim {
+
+/// One proposed transmission for the current slot. A unicast names its
+/// receiver, which must be active in the slot and a neighbor of the sender;
+/// `receiver == kNoNode` is a broadcast, decodable by any active neighbor
+/// that hears nothing else. Either way a sender may propose at most one
+/// intent per slot (§III-B).
+struct TxIntent {
+  NodeId sender = kNoNode;
+  NodeId receiver = kNoNode;  ///< kNoNode = broadcast.
+  PacketId packet = kNoPacket;
+
+  [[nodiscard]] bool is_broadcast() const { return receiver == kNoNode; }
+};
+
+/// What the channel did with an intent.
+enum class TxOutcome : std::uint8_t {
+  kDelivered,     ///< receiver decoded the packet (may be a duplicate).
+  kLostChannel,   ///< Bernoulli link loss.
+  kCollision,     ///< concurrent transmission to the same receiver.
+  kReceiverBusy,  ///< receiver was itself transmitting (semi-duplex).
+  kBroadcast,     ///< broadcast sent; per-listener decodes are reported
+                  ///< separately (there is no link-layer ACK to a broadcast).
+  kSyncMiss,      ///< the sender's estimate of the receiver's wakeup was
+                  ///< stale (imperfect local synchronization); the unicast
+                  ///< hit a sleeping radio.
+};
+
+struct TxResult {
+  TxIntent intent;
+  TxOutcome outcome = TxOutcome::kLostChannel;
+  bool duplicate = false;  ///< receiver already had the packet.
+};
+
+/// Read-only view of the run the engine hands to protocols.
+struct SimContext {
+  const topology::Topology* topo = nullptr;
+  const schedule::ScheduleSet* schedules = nullptr;
+  DutyCycle duty{};
+  std::uint32_t num_packets = 0;
+  std::uint64_t seed = 0;  ///< protocols derive their own substreams.
+  NodeId source = 0;       ///< the flooding source (paper default: node 0).
+};
+
+/// Interface implemented by each flooding scheme (OPT, DBAO, OF, ...).
+class FloodingProtocol {
+ public:
+  virtual ~FloodingProtocol() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called once before slot 0.
+  virtual void initialize(const SimContext& ctx) = 0;
+
+  /// A new packet became available at the source (node 0).
+  virtual void on_generate(PacketId packet, SlotIndex slot) = 0;
+
+  /// Node `receiver` obtained `packet` (unicast delivery or overhearing).
+  /// `from` is the transmitter.
+  virtual void on_delivery(NodeId receiver, PacketId packet, NodeId from,
+                           SlotIndex slot) = 0;
+
+  /// Link-layer ACK feedback for an intent this protocol proposed.
+  virtual void on_outcome(const TxResult& result, SlotIndex slot) = 0;
+
+  /// Node `listener` decoded a transmission addressed to someone else and
+  /// thereby learned that `sender` possesses `packet` (and obtained the
+  /// packet itself; the engine reports that via on_delivery separately).
+  virtual void on_overhear(NodeId listener, NodeId sender, PacketId packet,
+                           SlotIndex slot) {
+    (void)listener;
+    (void)sender;
+    (void)packet;
+    (void)slot;
+  }
+
+  /// Propose this slot's unicasts. `active_receivers` lists nodes that can
+  /// receive in this slot (ascending ids).
+  virtual void propose_transmissions(SlotIndex slot,
+                                     std::span<const NodeId> active_receivers,
+                                     std::vector<TxIntent>& out) = 0;
+
+  /// Whether the engine should model overhearing for this protocol.
+  [[nodiscard]] virtual bool wants_overhearing() const { return false; }
+
+  /// Whether the engine should suppress collisions (oracle scheduling).
+  [[nodiscard]] virtual bool collision_free_oracle() const { return false; }
+};
+
+}  // namespace ldcf::sim

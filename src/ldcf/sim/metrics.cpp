@@ -1,0 +1,73 @@
+#include "ldcf/sim/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::sim {
+
+namespace {
+
+template <typename Proj>
+double mean_over_covered(const std::vector<PacketRecord>& packets,
+                         Proj&& proj) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const PacketRecord& rec : packets) {
+    if (!rec.covered()) continue;
+    sum += static_cast<double>(proj(rec));
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+double RunMetrics::mean_total_delay() const {
+  return mean_over_covered(packets,
+                           [](const PacketRecord& r) { return r.total_delay(); });
+}
+
+double RunMetrics::mean_queueing_delay() const {
+  return mean_over_covered(
+      packets, [](const PacketRecord& r) { return r.queueing_delay(); });
+}
+
+double RunMetrics::mean_transmission_delay() const {
+  return mean_over_covered(
+      packets, [](const PacketRecord& r) { return r.transmission_delay(); });
+}
+
+std::uint64_t RunMetrics::max_total_delay() const {
+  std::uint64_t best = 0;
+  for (const PacketRecord& rec : packets) {
+    if (rec.covered()) best = std::max(best, rec.total_delay());
+  }
+  return best;
+}
+
+std::uint64_t RunMetrics::delay_quantile(double q) const {
+  LDCF_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  std::vector<std::uint64_t> delays;
+  delays.reserve(packets.size());
+  for (const PacketRecord& rec : packets) {
+    if (rec.covered()) delays.push_back(rec.total_delay());
+  }
+  if (delays.empty()) return 0;
+  std::sort(delays.begin(), delays.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(delays.size() - 1) + 0.5);
+  return delays[std::min(rank, delays.size() - 1)];
+}
+
+double RunMetrics::covered_fraction() const {
+  if (packets.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (const PacketRecord& rec : packets) {
+    if (rec.covered()) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(packets.size());
+}
+
+}  // namespace ldcf::sim

@@ -1,0 +1,44 @@
+// Possession state: which node holds which packet (the engine's X_p vectors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldcf/common/types.hpp"
+
+namespace ldcf::sim {
+
+/// Dense possession matrix with per-packet holder counts.
+class PossessionState {
+ public:
+  PossessionState(std::size_t num_nodes, std::uint32_t num_packets,
+                  NodeId source = 0);
+
+  /// Mark `node` as holding `packet`; returns false if it already did.
+  bool deliver(NodeId node, PacketId packet);
+
+  [[nodiscard]] bool has(NodeId node, PacketId packet) const;
+
+  /// Number of nodes (incl. source) holding `packet`.
+  [[nodiscard]] std::uint64_t holders(PacketId packet) const;
+
+  /// Number of nominal sensors (excl. the source) holding `packet`.
+  [[nodiscard]] std::uint64_t sensor_holders(PacketId packet) const;
+
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::uint32_t num_packets() const { return num_packets_; }
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId node, PacketId packet) const {
+    return static_cast<std::size_t>(packet) * num_nodes_ + node;
+  }
+
+  std::size_t num_nodes_;
+  std::uint32_t num_packets_;
+  NodeId source_;
+  std::vector<bool> has_;                     // packet-major.
+  std::vector<std::uint64_t> holders_;        // per packet.
+  std::vector<std::uint64_t> sensor_holders_; // per packet, excl. source.
+};
+
+}  // namespace ldcf::sim

@@ -1,0 +1,49 @@
+// Fault and dynamics injection.
+//
+// Real deployments (GreenOrbs included) see node deaths and bursty link
+// quality; the paper's related work ([23] bursty links) motivates testing
+// protocols under both. Perturbations are engine-level so every protocol
+// faces them identically and cannot cheat around them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ldcf/common/types.hpp"
+
+namespace ldcf::sim {
+
+/// Permanent node death at a given slot: the node stops receiving,
+/// transmitting and overhearing. Copies it held keep counting toward
+/// coverage (they were delivered while it lived).
+struct NodeFailure {
+  NodeId node = kNoNode;
+  SlotIndex at_slot = 0;
+};
+
+/// Periodic link-quality degradation: during each burst window every link's
+/// PRR is multiplied by `prr_scale`.
+struct LinkBurst {
+  double prr_scale = 0.5;       ///< multiplicative quality during bursts.
+  SlotIndex first_start = 0;    ///< start of the first burst.
+  SlotIndex duration = 100;     ///< burst length in slots.
+  SlotIndex period = 1000;      ///< distance between burst starts.
+
+  /// Whether slot `t` falls inside a burst window.
+  [[nodiscard]] bool active_at(SlotIndex t) const {
+    if (t < first_start) return false;
+    return (t - first_start) % period < duration;
+  }
+};
+
+struct Perturbations {
+  std::vector<NodeFailure> node_failures;
+  std::optional<LinkBurst> burst;
+
+  [[nodiscard]] bool empty() const {
+    return node_failures.empty() && !burst.has_value();
+  }
+};
+
+}  // namespace ldcf::sim

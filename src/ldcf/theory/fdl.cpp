@@ -1,0 +1,77 @@
+#include "ldcf/theory/fdl.hpp"
+
+#include <algorithm>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/theory/fwl.hpp"
+
+namespace ldcf::theory {
+
+std::uint64_t fdl_compact_full_duplex(std::uint64_t num_sensors,
+                                      std::uint64_t num_packets) {
+  LDCF_REQUIRE(num_packets >= 1, "need at least one packet");
+  return num_packets + m_of(num_sensors) - 1;
+}
+
+std::uint64_t table1_waiting(std::uint64_t num_sensors,
+                             std::uint64_t num_packets,
+                             std::uint64_t packet_index) {
+  LDCF_REQUIRE(packet_index < num_packets, "packet index out of range");
+  const std::uint64_t m = m_of(num_sensors);
+  if (num_packets < m) return m + packet_index;
+  return m + std::min<std::uint64_t>(packet_index, m - 1);
+}
+
+std::vector<std::uint64_t> table1_waitings(std::uint64_t num_sensors,
+                                           std::uint64_t num_packets) {
+  std::vector<std::uint64_t> w;
+  w.reserve(num_packets);
+  for (std::uint64_t p = 0; p < num_packets; ++p) {
+    w.push_back(table1_waiting(num_sensors, num_packets, p));
+  }
+  return w;
+}
+
+double expected_fdl(std::uint64_t num_sensors, std::uint64_t num_packets,
+                    DutyCycle duty) {
+  LDCF_REQUIRE(num_packets >= 1, "need at least one packet");
+  const auto m = static_cast<double>(m_of(num_sensors));
+  const auto big_m = static_cast<double>(num_packets);
+  const auto t = static_cast<double>(duty.period);
+  if (big_m < m) return t * (0.5 * m + big_m - 1.0);
+  return t * (m + 0.5 * big_m - 1.0);
+}
+
+double max_fdl(std::uint64_t num_sensors, std::uint64_t num_packets,
+               DutyCycle duty) {
+  // FDL <= T * FWL, with E[FDL] = T * FWL / 2 (uniform per-wait delay).
+  return static_cast<double>(duty.period) *
+         static_cast<double>(multi_packet_fwl(num_sensors, num_packets));
+}
+
+FdlBounds expected_fdl_bounds(std::uint64_t num_sensors,
+                              std::uint64_t num_packets, DutyCycle duty) {
+  LDCF_REQUIRE(num_packets >= 1, "need at least one packet");
+  const auto m = static_cast<double>(m_of(num_sensors));
+  const auto big_m = static_cast<double>(num_packets);
+  const auto t = static_cast<double>(duty.period);
+  FdlBounds b;
+  if (big_m < m) {
+    b.lower = t * (0.5 * m + big_m - 1.0);
+    b.upper = t * (m + 1.5 * big_m - 1.5);
+  } else {
+    b.lower = t * (m + 0.5 * big_m - 1.0);
+    b.upper = t * (2.0 * m + 0.5 * big_m - 1.0);
+  }
+  return b;
+}
+
+std::uint64_t blocking_window(std::uint64_t num_sensors) {
+  return m_of(num_sensors) - 1;
+}
+
+std::uint64_t knee_point(std::uint64_t num_sensors) {
+  return m_of(num_sensors);
+}
+
+}  // namespace ldcf::theory

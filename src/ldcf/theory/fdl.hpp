@@ -1,0 +1,60 @@
+// Flooding Delay Limit (FDL) — paper §IV-A: Lemma 3, Table I, Theorem 1,
+// Theorem 2 and Corollary 1.
+//
+// All delay quantities here are in *original* time slots unless a function
+// name says compact. T is the working-schedule period (duty ratio 1/T).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldcf/common/types.hpp"
+
+namespace ldcf::theory {
+
+/// Lemma 3 (ideal network, full-duplex, N = 2^n): compact-slot FDL for M
+/// packets is M + ceil(log2(N+1)) - 1.
+[[nodiscard]] std::uint64_t fdl_compact_full_duplex(std::uint64_t num_sensors,
+                                                    std::uint64_t num_packets);
+
+/// Table I: waiting count W_p of packet p during multi-packet flooding.
+///   M < m :  W_p = m + p                 (p = 0..M-1)
+///   M >= m:  W_p = m + min(p, m - 1)     (saturates at m + (m-1))
+[[nodiscard]] std::uint64_t table1_waiting(std::uint64_t num_sensors,
+                                           std::uint64_t num_packets,
+                                           std::uint64_t packet_index);
+
+/// Full Table I for a given (N, M): W_p for every p in [0, M).
+[[nodiscard]] std::vector<std::uint64_t> table1_waitings(
+    std::uint64_t num_sensors, std::uint64_t num_packets);
+
+/// Theorem 1 (half-duplex, N = 2^n): expected overall multi-packet FDL,
+///   E[FDL] = T (m/2 + M - 1)  if M <  m
+///   E[FDL] = T (m + M/2 - 1)  if M >= m,   m = ceil(log2(1+N)).
+[[nodiscard]] double expected_fdl(std::uint64_t num_sensors,
+                                  std::uint64_t num_packets, DutyCycle duty);
+
+/// Worst-case FDL is at most twice the expectation (proof of Theorem 1:
+/// FDL <= T * FWL while E[FDL] = T * FWL / 2).
+[[nodiscard]] double max_fdl(std::uint64_t num_sensors,
+                             std::uint64_t num_packets, DutyCycle duty);
+
+/// Theorem 2 (arbitrary N): lower/upper bounds on E[FDL].
+struct FdlBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+[[nodiscard]] FdlBounds expected_fdl_bounds(std::uint64_t num_sensors,
+                                            std::uint64_t num_packets,
+                                            DutyCycle duty);
+
+/// Corollary 1: the blocking window — the flooding delay of a packet is
+/// affected by at most this many packets immediately before it
+/// (m - 1 = ceil(log2(1+N)) - 1).
+[[nodiscard]] std::uint64_t blocking_window(std::uint64_t num_sensors);
+
+/// Position of the knee in the FDL-vs-M curve (M = m). Below it FDL grows by
+/// ~T per extra packet; above it by ~T/2 (pipelining kicks in).
+[[nodiscard]] std::uint64_t knee_point(std::uint64_t num_sensors);
+
+}  // namespace ldcf::theory

@@ -1,0 +1,39 @@
+#include "ldcf/theory/fwl.hpp"
+
+#include <cmath>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/common/math_utils.hpp"
+
+namespace ldcf::theory {
+
+std::uint32_t m_of(std::uint64_t num_sensors) {
+  LDCF_REQUIRE(num_sensors >= 1, "network needs at least one sensor");
+  return ceil_log2(num_sensors + 1);
+}
+
+std::uint64_t expected_fwl(std::uint64_t num_sensors, double mu) {
+  LDCF_REQUIRE(num_sensors >= 1, "network needs at least one sensor");
+  LDCF_REQUIRE(mu > 1.0 && mu <= 2.0, "Lemma 2 requires 1 < mu <= 2");
+  const double waits =
+      std::log2(static_cast<double>(num_sensors) + 1.0) / std::log2(mu);
+  return static_cast<std::uint64_t>(std::ceil(waits - 1e-12));
+}
+
+std::uint64_t multi_packet_fwl(std::uint64_t num_sensors,
+                               std::uint64_t num_packets) {
+  LDCF_REQUIRE(num_packets >= 1, "need at least one packet");
+  const std::uint64_t m = m_of(num_sensors);
+  const std::uint64_t big_m = num_packets;
+  if (big_m < m) return m + 2 * big_m - 2;
+  return 2 * m + big_m - 2;
+}
+
+std::uint64_t expired_time(std::uint64_t num_sensors,
+                           std::uint64_t packet_index) {
+  // K_p = packet_index under sequential injection (one packet per compact
+  // slot at the source).
+  return packet_index + m_of(num_sensors);
+}
+
+}  // namespace ldcf::theory

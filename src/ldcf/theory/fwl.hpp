@@ -1,0 +1,40 @@
+// Flooding Waiting Limit (FWL) — paper §III-C and §IV-A, Lemma 2.
+//
+// FWL counts, over the *compact* time scale, the minimum number of
+// FCFS-imposed waitings needed for the last copy of a packet to be received
+// during the flooding. Lemma 2 gives its expectation for a single packet:
+//
+//   E[FWL] = ceil( log2(1+N) / log2(mu) ),   1 < mu <= 2,
+//
+// where mu is the mean offspring count of the Galton–Watson dissemination
+// process (mu = 2 under reliable links: every holder recruits one new holder
+// per compact slot; mu = 1 + q for per-transmission success probability q).
+#pragma once
+
+#include <cstdint>
+
+namespace ldcf::theory {
+
+/// m = ceil(log2(1 + N)) — the paper's recurring constant: the reliable-link
+/// single-packet FWL (Eq. 6) and the knee position of Theorem 1.
+[[nodiscard]] std::uint32_t m_of(std::uint64_t num_sensors);
+
+/// Lemma 2: expected single-packet FWL for a Galton–Watson dissemination with
+/// mean offspring mu in (1, 2]. Throws InvalidArgument outside that range.
+[[nodiscard]] std::uint64_t expected_fwl(std::uint64_t num_sensors, double mu);
+
+/// Multi-packet FWL reached by Algorithm 1 after the half-duplex relaxation
+/// (derivation inside the proof of Theorem 1):
+///   FWL(M) = m + 2M - 2        if M <  m
+///   FWL(M) = 2m + M - 2        if M >= m
+[[nodiscard]] std::uint64_t multi_packet_fwl(std::uint64_t num_sensors,
+                                             std::uint64_t num_packets);
+
+/// Expired time of packet p (§IV-A.1): K_p + m compact slots after which a
+/// packet no longer needs transmission under Algorithm 1's schedule. K_p is
+/// the number of packets injected before p, i.e. K_p = p for sequential
+/// generation.
+[[nodiscard]] std::uint64_t expired_time(std::uint64_t num_sensors,
+                                         std::uint64_t packet_index);
+
+}  // namespace ldcf::theory

@@ -1,0 +1,139 @@
+#include "ldcf/theory/galton_watson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::theory {
+
+namespace {
+
+/// Binomial(n, p) draw; n stays small (<= network size) so simple inversion
+/// by repeated Bernoulli is fine for n < 64, and a normal approximation is
+/// used for large n to keep Monte-Carlo sweeps cheap.
+std::uint64_t binomial(Rng& rng, std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (n < 64) {
+    std::uint64_t s = 0;
+    for (std::uint64_t i = 0; i < n; ++i) s += rng.bernoulli(p) ? 1u : 0u;
+    return s;
+  }
+  const double mean = static_cast<double>(n) * p;
+  const double sd = std::sqrt(mean * (1.0 - p));
+  const double draw = std::round(mean + sd * rng.normal());
+  const double clamped = std::clamp(draw, 0.0, static_cast<double>(n));
+  return static_cast<std::uint64_t>(clamped);
+}
+
+}  // namespace
+
+double gw_mu(const GwParams& params) { return 1.0 + params.success_prob; }
+
+GwRun simulate_dissemination(const GwParams& params, Rng& rng) {
+  LDCF_REQUIRE(params.num_sensors >= 1, "need at least one sensor");
+  LDCF_REQUIRE(params.success_prob > 0.0 && params.success_prob <= 1.0,
+               "success probability must be in (0, 1]");
+  const std::uint64_t total = params.num_sensors + 1;
+  GwRun run;
+  std::uint64_t covered = 1;
+  run.counts.push_back(covered);
+  while (covered < total) {
+    const std::uint64_t uncovered = total - covered;
+    // Each holder targets one distinct uncovered node (the compact-time
+    // schedule of Algorithm 1 guarantees distinct targets); at most
+    // `uncovered` attempts are useful.
+    const std::uint64_t attempts = std::min(covered, uncovered);
+    covered += binomial(rng, attempts, params.success_prob);
+    run.counts.push_back(covered);
+    ++run.cover_slots;
+    LDCF_CHECK(run.cover_slots < 10'000'000ULL,
+               "dissemination failed to converge");
+  }
+  return run;
+}
+
+namespace {
+
+template <typename RunFn>
+GwStats aggregate_runs(std::size_t runs, std::uint64_t seed, RunFn&& run_fn) {
+  LDCF_REQUIRE(runs >= 1, "need at least one run");
+  Rng rng(seed);
+  GwStats stats;
+  stats.runs = runs;
+  stats.min_cover_slots = ~0ULL;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < runs; ++i) {
+    const std::uint64_t slots = run_fn(rng);
+    const auto c = static_cast<double>(slots);
+    sum += c;
+    sum_sq += c * c;
+    stats.min_cover_slots = std::min(stats.min_cover_slots, slots);
+    stats.max_cover_slots = std::max(stats.max_cover_slots, slots);
+  }
+  const auto n = static_cast<double>(runs);
+  stats.mean_cover_slots = sum / n;
+  const double var = std::max(0.0, sum_sq / n - stats.mean_cover_slots *
+                                                    stats.mean_cover_slots);
+  stats.stddev_cover_slots = std::sqrt(var);
+  return stats;
+}
+
+}  // namespace
+
+GwStats estimate_cover_slots(const GwParams& params, std::size_t runs,
+                             std::uint64_t seed) {
+  return aggregate_runs(runs, seed, [&params](Rng& rng) {
+    return simulate_dissemination(params, rng).cover_slots;
+  });
+}
+
+GwStats estimate_crossing_slots(const GwParams& params, std::size_t runs,
+                                std::uint64_t seed) {
+  LDCF_REQUIRE(params.num_sensors >= 1, "need at least one sensor");
+  LDCF_REQUIRE(params.success_prob > 0.0 && params.success_prob <= 1.0,
+               "success probability must be in (0, 1]");
+  const std::uint64_t threshold = params.num_sensors + 1;
+  return aggregate_runs(runs, seed, [&](Rng& rng) {
+    std::uint64_t x = 1;
+    std::uint64_t c = 0;
+    while (x < threshold) {
+      x += binomial(rng, x, params.success_prob);
+      ++c;
+      LDCF_CHECK(c < 10'000'000ULL, "crossing failed to converge");
+    }
+    return c;
+  });
+}
+
+double saturation_tail_slots(const GwParams& params) {
+  const double q = params.success_prob;
+  if (q >= 1.0) return 0.0;
+  return std::log(static_cast<double>(params.num_sensors) + 1.0) /
+         -std::log(1.0 - q);
+}
+
+std::vector<double> sample_normalized_limit(double success_prob,
+                                            std::uint32_t at_slot,
+                                            std::size_t runs,
+                                            std::uint64_t seed) {
+  LDCF_REQUIRE(success_prob > 0.0 && success_prob <= 1.0,
+               "success probability must be in (0, 1]");
+  Rng rng(seed);
+  const double mu = 1.0 + success_prob;
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::uint64_t x = 1;
+    for (std::uint32_t c = 0; c < at_slot; ++c) {
+      x += binomial(rng, x, success_prob);
+    }
+    samples.push_back(static_cast<double>(x) /
+                      std::pow(mu, static_cast<double>(at_slot)));
+  }
+  return samples;
+}
+
+}  // namespace ldcf::theory

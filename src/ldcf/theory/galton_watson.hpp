@@ -1,0 +1,82 @@
+// Galton–Watson dissemination process — paper §IV-A, Lemma 1 and Lemma 2.
+//
+// With one source and unreliable links, the count of packet holders per
+// compact slot {X(c)} is a Galton–Watson branching process: every holder
+// attempts to recruit one new holder per compact slot and succeeds with
+// probability q, so X(c+1) = X(c) + Binomial(X(c), q) and the mean offspring
+// is mu = 1 + q in (1, 2]. Lemma 1 says X(c)/mu^c converges a.s. to a random
+// variable X with E[X] = 1 and Var[X] = sigma^2 / (mu^2 - mu); Lemma 2 turns
+// that into E[FWL] = ceil(log2(1+N)/log2(mu)).
+//
+// This module Monte-Carlo-simulates the process so tests and benches can
+// check the lemmas empirically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldcf/common/rng.hpp"
+
+namespace ldcf::theory {
+
+/// Result of one simulated dissemination.
+struct GwRun {
+  std::uint64_t cover_slots = 0;      ///< compact slots until all 1+N covered.
+  std::vector<std::uint64_t> counts;  ///< X(c) trajectory, counts[0] == 1.
+};
+
+/// Parameters of the dissemination process.
+struct GwParams {
+  std::uint64_t num_sensors = 1024;  ///< N (excludes the source).
+  double success_prob = 1.0;         ///< q, per-transmission success.
+};
+
+/// Mean offspring mu = 1 + q.
+[[nodiscard]] double gw_mu(const GwParams& params);
+
+/// Simulate one dissemination: starting from X = 1 holder, each compact slot
+/// every holder recruits one distinct uncovered node with probability q
+/// (attempts are capped by the number of uncovered nodes, as in the finite
+/// network). Returns the full trajectory.
+[[nodiscard]] GwRun simulate_dissemination(const GwParams& params, Rng& rng);
+
+/// Statistics over repeated runs.
+struct GwStats {
+  double mean_cover_slots = 0.0;
+  double stddev_cover_slots = 0.0;
+  std::uint64_t min_cover_slots = 0;
+  std::uint64_t max_cover_slots = 0;
+  std::size_t runs = 0;
+};
+
+/// Run `runs` independent disseminations and aggregate coverage times.
+///
+/// Note: coverage in a *finite* network is slower than Lemma 2's prediction
+/// because recruitment saturates near the end (the uncovered remainder decays
+/// by a factor (1-q) per slot once holders outnumber the uncovered). Lemma 2
+/// describes the supercritical growth phase — see estimate_crossing_slots.
+[[nodiscard]] GwStats estimate_cover_slots(const GwParams& params,
+                                           std::size_t runs,
+                                           std::uint64_t seed);
+
+/// Lemma 2's exact object: the first compact slot at which the *unbounded*
+/// Galton–Watson process X(c+1) = X(c) + Binomial(X(c), q) crosses 1+N.
+/// E[crossing] = ceil(log2(1+N)/log2(mu)) per Lemma 2.
+[[nodiscard]] GwStats estimate_crossing_slots(const GwParams& params,
+                                              std::size_t runs,
+                                              std::uint64_t seed);
+
+/// Extra slots the finite network needs beyond the crossing time: once the
+/// process saturates, the uncovered remainder shrinks by (1-q) per slot, so
+/// the tail costs about log(1+N) / -log(1-q) slots (0 for q = 1).
+[[nodiscard]] double saturation_tail_slots(const GwParams& params);
+
+/// Lemma 1 empirical check: the normalized limit W_c = X(c)/mu^c sampled at
+/// compact slot `at_slot`, over `runs` runs of the *unbounded* process
+/// (no cap at N). Returns the sample of W values.
+[[nodiscard]] std::vector<double> sample_normalized_limit(double success_prob,
+                                                          std::uint32_t at_slot,
+                                                          std::size_t runs,
+                                                          std::uint64_t seed);
+
+}  // namespace ldcf::theory

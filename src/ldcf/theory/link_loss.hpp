@@ -1,0 +1,67 @@
+// Impact of link loss — paper §IV-B.
+//
+// A k-class link delivers a packet within k transmissions with high
+// probability (k = 1 is a perfect link). In a homogeneous k-class network the
+// dissemination recursion (Eq. 7) is
+//
+//   X(t+1) <= X(t) + X(t - kT)
+//
+// whose characteristic ("eigen") equation (Eq. 8) is
+//
+//   lambda^(kT+1) = lambda^(kT) + 1.
+//
+// The largest positive root lambda > 1 is the per-original-slot growth rate;
+// the time to cover 1+N nodes is ~ log(1+N)/log(lambda) original slots. This
+// module solves the equation (for real-valued kT, since the paper itself uses
+// fractional k like 1.25) and produces the delay predictions behind Fig. 7
+// and the "Predicted Lower Bound" curve of Fig. 10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldcf/common/types.hpp"
+
+namespace ldcf::theory {
+
+/// Expected transmission count for a link of success probability (quality) q:
+/// k = 1/q (geometric retransmissions). The paper's Fig. 7 legend maps
+/// quality 80/70/60/50% to k = 1.25/1.42/1.67/2.
+[[nodiscard]] double k_class_of_quality(double link_quality);
+
+/// Largest positive root of lambda^(d+1) = lambda^d + 1, d = k*T > 0.
+/// The root lies in (1, 2]; d = 0 gives exactly 2 (doubling per slot).
+[[nodiscard]] double growth_rate(double k, std::uint32_t period);
+
+/// Predicted flooding delay (original slots) for one packet to cover a
+/// network of `num_sensors` nominal sensors: log(1+N) / log(lambda).
+[[nodiscard]] double predicted_flooding_delay(std::uint64_t num_sensors,
+                                              double k, DutyCycle duty);
+
+/// Coverage-fraction variant used to compare with the simulator's 99% rule:
+/// log(coverage * (1+N)) / log(lambda).
+[[nodiscard]] double predicted_coverage_delay(std::uint64_t num_sensors,
+                                              double coverage, double k,
+                                              DutyCycle duty);
+
+/// One point of the Fig. 7 family: duty cycle on the x-axis, k per curve.
+struct LossDelayPoint {
+  double duty_ratio = 0.0;   ///< 1/T.
+  double k = 1.0;            ///< expected transmissions per delivery.
+  double delay_slots = 0.0;  ///< predicted flooding delay.
+};
+
+/// Sweep producing the Fig. 7 curves: for each k in `ks` and each period in
+/// `periods`, the predicted delay for a network of `num_sensors` sensors.
+[[nodiscard]] std::vector<LossDelayPoint> loss_delay_sweep(
+    std::uint64_t num_sensors, const std::vector<double>& ks,
+    const std::vector<std::uint32_t>& periods);
+
+/// Deterministic recursion X(t+1) = X(t) + X(t - ceil(kT)) clamped at 1+N
+/// (Eq. 7 with equality): number of original slots until X reaches
+/// ceil(coverage * (1+N)). Cross-checks the eigenvalue prediction.
+[[nodiscard]] std::uint64_t recursion_coverage_slots(std::uint64_t num_sensors,
+                                                     double coverage, double k,
+                                                     DutyCycle duty);
+
+}  // namespace ldcf::theory

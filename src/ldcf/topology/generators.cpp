@@ -1,0 +1,142 @@
+#include "ldcf/topology/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::topology {
+
+namespace {
+
+/// Wire up every pair within plausible radio range: sample a persistent
+/// shadowing offset per unordered pair, derive directional PRRs (slightly
+/// asymmetric, as measured traces are), keep links above the usable floor.
+void build_links(Topology& topo, const RadioModel& radio, Rng& rng) {
+  const double max_range = radio.range_at_prr(0.01) * 1.5;
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const double dist = distance(topo.position(a), topo.position(b));
+      if (dist > max_range) continue;
+      const double rssi = radio.sample_rssi_dbm(dist, rng);
+      // Mild per-direction asymmetry on top of the shared shadowing.
+      const double asym = 0.5 * rng.normal();
+      const double prr_ab = radio.prr_of_rssi(rssi + asym);
+      const double prr_ba = radio.prr_of_rssi(rssi - asym);
+      if (prr_ab >= radio.min_usable_prr) topo.add_link(a, b, prr_ab);
+      if (prr_ba >= radio.min_usable_prr) topo.add_link(b, a, prr_ba);
+    }
+  }
+}
+
+/// Fraction of sensors the source can reach.
+double reachable_fraction(const Topology& topo) {
+  if (topo.num_nodes() <= 1) return 1.0;
+  return static_cast<double>(topo.reachable_count(0) - 1) /
+         static_cast<double>(topo.num_sensors());
+}
+
+template <typename PlaceFn>
+Topology generate_with_retries(const GeneratorConfig& config,
+                               PlaceFn&& place) {
+  const int max_attempts = config.require_connectivity ? 32 : 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Rng rng(config.seed +
+            static_cast<std::uint64_t>(attempt) * std::uint64_t{0x9e37});
+    Topology topo(place(rng));
+    build_links(topo, config.radio, rng);
+    if (!config.require_connectivity ||
+        reachable_fraction(topo) >= config.min_reachable_fraction) {
+      return topo;
+    }
+  }
+  throw InvalidArgument(
+      "could not generate a sufficiently connected topology; enlarge the "
+      "radio range or shrink the area");
+}
+
+}  // namespace
+
+Topology make_uniform(const GeneratorConfig& config) {
+  LDCF_REQUIRE(config.num_sensors >= 1, "need at least one sensor");
+  return generate_with_retries(config, [&config](Rng& rng) {
+    std::vector<Point2D> pts(config.num_sensors + 1);
+    for (auto& p : pts) {
+      p = Point2D{rng.uniform() * config.area_side_m,
+                  rng.uniform() * config.area_side_m};
+    }
+    return pts;
+  });
+}
+
+Topology make_grid(const GeneratorConfig& config) {
+  LDCF_REQUIRE(config.num_sensors >= 1, "need at least one sensor");
+  const auto total = config.num_sensors + 1;
+  const auto side = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(total))));
+  const double step = config.area_side_m / static_cast<double>(side);
+  return generate_with_retries(config, [&](Rng&) {
+    std::vector<Point2D> pts;
+    pts.reserve(total);
+    for (std::uint32_t i = 0; i < total; ++i) {
+      const double col = static_cast<double>(i % side);
+      const double row = static_cast<double>(i / side);
+      pts.push_back(Point2D{(col + 0.5) * step, (row + 0.5) * step});
+    }
+    return pts;
+  });
+}
+
+Topology make_clustered(const ClusterConfig& config) {
+  const GeneratorConfig& base = config.base;
+  LDCF_REQUIRE(base.num_sensors >= 1, "need at least one sensor");
+  LDCF_REQUIRE(config.num_clusters >= 1, "need at least one cluster");
+  return generate_with_retries(base, [&](Rng& rng) {
+    std::vector<Point2D> centers(config.num_clusters);
+    for (auto& c : centers) {
+      c = Point2D{base.area_side_m * (0.15 + 0.7 * rng.uniform()),
+                  base.area_side_m * (0.15 + 0.7 * rng.uniform())};
+    }
+    std::vector<Point2D> pts(base.num_sensors + 1);
+    for (auto& p : pts) {
+      const auto& c = centers[rng.below(centers.size())];
+      const auto clamp = [&](double v) {
+        return std::clamp(v, 0.0, base.area_side_m);
+      };
+      p = Point2D{clamp(c.x + config.cluster_sigma_m * rng.normal()),
+                  clamp(c.y + config.cluster_sigma_m * rng.normal())};
+    }
+    return pts;
+  });
+}
+
+Topology make_greenorbs_like(std::uint64_t seed) {
+  ClusterConfig config;
+  config.base.num_sensors = 298;
+  // Sized so the network is genuinely multi-hop (eccentricity >= 6) with a
+  // mean out-degree around 12-18, matching the sparse forest deployment.
+  config.base.area_side_m = 560.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = seed;
+  config.num_clusters = 18;
+  config.cluster_sigma_m = 34.0;
+  return make_clustered(config);
+}
+
+Topology make_complete(std::uint32_t num_sensors, double prr) {
+  LDCF_REQUIRE(num_sensors >= 1, "need at least one sensor");
+  LDCF_REQUIRE(prr > 0.0 && prr <= 1.0, "PRR must be in (0, 1]");
+  std::vector<Point2D> pts(num_sensors + 1);  // geometry is irrelevant here.
+  Topology topo(std::move(pts));
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      topo.add_symmetric_link(a, b, prr);
+    }
+  }
+  return topo;
+}
+
+}  // namespace ldcf::topology

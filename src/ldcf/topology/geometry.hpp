@@ -1,0 +1,23 @@
+// Plane geometry primitives for node placement.
+#pragma once
+
+#include <cmath>
+
+namespace ldcf::topology {
+
+/// A point in the deployment plane, in meters.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point2D&, const Point2D&) = default;
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double distance(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace ldcf::topology

@@ -1,0 +1,107 @@
+#include "ldcf/topology/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::topology {
+
+Topology::Topology(std::vector<Point2D> positions)
+    : positions_(std::move(positions)), adjacency_(positions_.size()) {
+  LDCF_REQUIRE(!positions_.empty(), "topology needs at least one node");
+}
+
+void Topology::add_link(NodeId from, NodeId to, double prr_value) {
+  LDCF_REQUIRE(from < num_nodes() && to < num_nodes(), "node id out of range");
+  LDCF_REQUIRE(from != to, "self-loops are not allowed");
+  LDCF_REQUIRE(prr_value > 0.0 && prr_value <= 1.0, "PRR must be in (0, 1]");
+  auto& adj = adjacency_[from];
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), to,
+      [](const Link& l, NodeId id) { return l.to < id; });
+  LDCF_REQUIRE(it == adj.end() || it->to != to, "duplicate link");
+  adj.insert(it, Link{to, prr_value});
+  ++num_links_;
+}
+
+void Topology::add_symmetric_link(NodeId a, NodeId b, double prr_value) {
+  add_link(a, b, prr_value);
+  add_link(b, a, prr_value);
+}
+
+const Point2D& Topology::position(NodeId n) const {
+  LDCF_REQUIRE(n < num_nodes(), "node id out of range");
+  return positions_[n];
+}
+
+std::span<const Link> Topology::neighbors(NodeId n) const {
+  LDCF_REQUIRE(n < num_nodes(), "node id out of range");
+  return adjacency_[n];
+}
+
+std::optional<double> Topology::prr(NodeId from, NodeId to) const {
+  LDCF_REQUIRE(from < num_nodes() && to < num_nodes(), "node id out of range");
+  const auto& adj = adjacency_[from];
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), to,
+      [](const Link& l, NodeId id) { return l.to < id; });
+  if (it != adj.end() && it->to == to) return it->prr;
+  return std::nullopt;
+}
+
+double Topology::mean_degree() const {
+  if (positions_.empty()) return 0.0;
+  return static_cast<double>(num_links_) /
+         static_cast<double>(positions_.size());
+}
+
+double Topology::mean_prr() const {
+  if (num_links_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& adj : adjacency_) {
+    for (const Link& l : adj) sum += l.prr;
+  }
+  return sum / static_cast<double>(num_links_);
+}
+
+std::vector<std::uint64_t> Topology::hop_distances(NodeId from) const {
+  LDCF_REQUIRE(from < num_nodes(), "node id out of range");
+  std::vector<std::uint64_t> dist(num_nodes(), kNeverSlot);
+  dist[from] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Link& l : adjacency_[u]) {
+      if (dist[l.to] == kNeverSlot) {
+        dist[l.to] = dist[u] + 1;
+        frontier.push(l.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t Topology::reachable_count(NodeId from) const {
+  const auto dist = hop_distances(from);
+  return static_cast<std::size_t>(
+      std::count_if(dist.begin(), dist.end(),
+                    [](std::uint64_t d) { return d != kNeverSlot; }));
+}
+
+bool Topology::connected_from_source() const {
+  return reachable_count(0) == num_nodes();
+}
+
+std::uint64_t Topology::eccentricity_from_source() const {
+  const auto dist = hop_distances(0);
+  std::uint64_t ecc = 0;
+  for (const std::uint64_t d : dist) {
+    if (d != kNeverSlot) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+}  // namespace ldcf::topology

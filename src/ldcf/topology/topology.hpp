@@ -1,0 +1,87 @@
+// Network topology: node positions plus a weighted link graph.
+//
+// Links carry a packet reception ratio (PRR) per direction; the graph is
+// stored as per-node adjacency lists sorted by neighbor id. Node 0 is the
+// flooding source by convention (paper §III-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ldcf/common/types.hpp"
+#include "ldcf/topology/geometry.hpp"
+
+namespace ldcf::topology {
+
+/// One directed link entry in a node's adjacency list.
+struct Link {
+  NodeId to = kNoNode;
+  double prr = 0.0;  ///< packet reception ratio in (0, 1].
+};
+
+/// Immutable-after-build network graph.
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Construct with `count` nodes (ids 0..count-1) at the given positions.
+  explicit Topology(std::vector<Point2D> positions);
+
+  /// Add a directed link u -> v with the given PRR. Throws on out-of-range
+  /// ids, self-loops, PRR outside (0, 1], or duplicate links.
+  void add_link(NodeId from, NodeId to, double prr);
+
+  /// Add u <-> v with the same PRR both ways.
+  void add_symmetric_link(NodeId a, NodeId b, double prr);
+
+  /// Number of nodes including the source.
+  [[nodiscard]] std::size_t num_nodes() const { return positions_.size(); }
+
+  /// Number of nominal sensors (excludes the source, paper's N).
+  [[nodiscard]] std::uint64_t num_sensors() const {
+    return positions_.empty() ? 0 : positions_.size() - 1;
+  }
+
+  /// Total directed link count.
+  [[nodiscard]] std::size_t num_links() const { return num_links_; }
+
+  [[nodiscard]] const Point2D& position(NodeId n) const;
+
+  /// Out-neighbors of `n`, sorted by neighbor id.
+  [[nodiscard]] std::span<const Link> neighbors(NodeId n) const;
+
+  /// PRR of the directed link u -> v, or nullopt if absent.
+  [[nodiscard]] std::optional<double> prr(NodeId from, NodeId to) const;
+
+  [[nodiscard]] bool has_link(NodeId from, NodeId to) const {
+    return prr(from, to).has_value();
+  }
+
+  /// Mean out-degree over all nodes.
+  [[nodiscard]] double mean_degree() const;
+
+  /// Mean PRR over all directed links (0 when there are none).
+  [[nodiscard]] double mean_prr() const;
+
+  /// Hop distance from `from` to every node (BFS over links); unreachable
+  /// nodes get kNeverSlot.
+  [[nodiscard]] std::vector<std::uint64_t> hop_distances(NodeId from) const;
+
+  /// Nodes reachable from `from` (including itself).
+  [[nodiscard]] std::size_t reachable_count(NodeId from) const;
+
+  /// True if every node is reachable from the source (node 0).
+  [[nodiscard]] bool connected_from_source() const;
+
+  /// Maximum finite hop distance from the source.
+  [[nodiscard]] std::uint64_t eccentricity_from_source() const;
+
+ private:
+  std::vector<Point2D> positions_;
+  std::vector<std::vector<Link>> adjacency_;
+  std::size_t num_links_ = 0;
+};
+
+}  // namespace ldcf::topology

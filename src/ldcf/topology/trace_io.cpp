@@ -1,0 +1,135 @@
+#include "ldcf/topology/trace_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::topology {
+
+namespace {
+constexpr const char* kHeader = "# ldcf-trace v1";
+}
+
+void write_trace(const Topology& topo, std::ostream& out) {
+  // max_digits10 guarantees doubles survive the text round-trip exactly.
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kHeader << '\n';
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const auto& p = topo.position(n);
+    out << "node," << n << ',' << p.x << ',' << p.y << '\n';
+  }
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    for (const Link& l : topo.neighbors(n)) {
+      out << "link," << n << ',' << l.to << ',' << l.prr << '\n';
+    }
+  }
+}
+
+void write_trace_file(const Topology& topo, const std::string& path) {
+  std::ofstream out(path);
+  LDCF_REQUIRE(out.good(), "cannot open trace file for writing: " + path);
+  write_trace(topo, out);
+  LDCF_REQUIRE(out.good(), "write to trace file failed: " + path);
+}
+
+Topology read_trace(std::istream& in) {
+  std::string line;
+  LDCF_REQUIRE(std::getline(in, line) && line == kHeader,
+               "missing or unknown trace header");
+
+  std::vector<Point2D> positions;
+  struct PendingLink {
+    NodeId from;
+    NodeId to;
+    double prr;
+  };
+  std::vector<PendingLink> links;
+  bool seen_link = false;
+
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    LDCF_REQUIRE(std::getline(fields, kind, ','),
+                 "malformed record at line " + std::to_string(line_no));
+    const auto next_field = [&](const char* what) {
+      std::string field;
+      LDCF_REQUIRE(std::getline(fields, field, ','),
+                   std::string("missing ") + what + " at line " +
+                       std::to_string(line_no));
+      return field;
+    };
+    if (kind == "node") {
+      LDCF_REQUIRE(!seen_link, "node record after link records at line " +
+                                   std::to_string(line_no));
+      const auto id = static_cast<NodeId>(std::stoul(next_field("node id")));
+      LDCF_REQUIRE(id == positions.size(),
+                   "node ids must be dense and ascending at line " +
+                       std::to_string(line_no));
+      const double x = std::stod(next_field("x"));
+      const double y = std::stod(next_field("y"));
+      positions.push_back(Point2D{x, y});
+    } else if (kind == "link") {
+      seen_link = true;
+      const auto from = static_cast<NodeId>(std::stoul(next_field("from")));
+      const auto to = static_cast<NodeId>(std::stoul(next_field("to")));
+      const double prr = std::stod(next_field("prr"));
+      links.push_back(PendingLink{from, to, prr});
+    } else {
+      throw InvalidArgument("unknown record kind '" + kind + "' at line " +
+                            std::to_string(line_no));
+    }
+  }
+
+  LDCF_REQUIRE(!positions.empty(), "trace contains no nodes");
+  Topology topo(std::move(positions));
+  for (const auto& l : links) {
+    topo.add_link(l.from, l.to, l.prr);
+  }
+  return topo;
+}
+
+Topology read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  LDCF_REQUIRE(in.good(), "cannot open trace file for reading: " + path);
+  return read_trace(in);
+}
+
+void write_dot(const Topology& topo, std::ostream& out) {
+  out << "graph ldcf_trace {\n"
+      << "  node [shape=point width=0.08];\n"
+      << "  0 [shape=circle width=0.15 label=\"S\" style=filled "
+         "fillcolor=black fontcolor=white];\n";
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const auto& p = topo.position(n);
+    // Graphviz "pos" is in points; scale meters 1:1 for neato -n2.
+    out << "  " << n << " [pos=\"" << p.x << ',' << p.y << "!\"];\n";
+  }
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (const Link& link : topo.neighbors(a)) {
+      if (link.to < a) continue;  // draw each unordered pair once.
+      const double back = topo.prr(link.to, a).value_or(0.0);
+      const double best = std::max(link.prr, back);
+      const int gray = static_cast<int>(90.0 - 80.0 * best);  // dark = good.
+      out << "  " << a << " -- " << link.to << " [color=gray" << gray
+          << "];\n";
+    }
+  }
+  out << "}\n";
+}
+
+void write_dot_file(const Topology& topo, const std::string& path) {
+  std::ofstream out(path);
+  LDCF_REQUIRE(out.good(), "cannot open dot file for writing: " + path);
+  write_dot(topo, out);
+  LDCF_REQUIRE(out.good(), "write to dot file failed: " + path);
+}
+
+}  // namespace ldcf::topology

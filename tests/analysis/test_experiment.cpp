@@ -1,0 +1,111 @@
+#include "ldcf/analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace ldcf::analysis {
+namespace {
+
+topology::Topology small_trace() {
+  topology::ClusterConfig config;
+  config.base.num_sensors = 40;
+  config.base.area_side_m = 200.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = 9;
+  config.num_clusters = 4;
+  return topology::make_clustered(config);
+}
+
+ExperimentConfig quick() {
+  ExperimentConfig config;
+  config.base.num_packets = 5;
+  config.base.seed = 3;
+  config.base.max_slots = 2'000'000;
+  return config;
+}
+
+TEST(Experiment, RunPointProducesSaneNumbers) {
+  const auto topo = small_trace();
+  const auto point = run_point(topo, "opt", DutyCycle{10}, quick());
+  EXPECT_EQ(point.protocol, "opt");
+  EXPECT_DOUBLE_EQ(point.duty_ratio, 0.1);
+  EXPECT_TRUE(point.all_covered);
+  EXPECT_GT(point.mean_delay, 0.0);
+  EXPECT_GT(point.attempts, 0.0);
+  EXPECT_GT(point.energy_total, 0.0);
+  EXPECT_GT(point.lifetime_slots, 0.0);
+  EXPECT_NEAR(point.mean_delay,
+              point.mean_queueing_delay + point.mean_transmission_delay,
+              1e-6);
+}
+
+TEST(Experiment, RepetitionsAverage) {
+  const auto topo = small_trace();
+  ExperimentConfig config = quick();
+  config.repetitions = 3;
+  const auto averaged = run_point(topo, "opt", DutyCycle{10}, config);
+  EXPECT_TRUE(averaged.all_covered);
+  EXPECT_GT(averaged.mean_delay, 0.0);
+  config.repetitions = 0;
+  EXPECT_THROW((void)run_point(topo, "opt", DutyCycle{10}, config),
+               InvalidArgument);
+}
+
+TEST(Experiment, DutySweepCoversGrid) {
+  const auto topo = small_trace();
+  const auto points =
+      run_duty_sweep(topo, {"opt", "dbao"}, {0.2, 0.1}, quick());
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].protocol, "opt");
+  EXPECT_DOUBLE_EQ(points[0].duty_ratio, 0.2);
+  EXPECT_EQ(points[3].protocol, "dbao");
+  EXPECT_DOUBLE_EQ(points[3].duty_ratio, 0.1);
+  // Lower duty -> more delay for the same protocol.
+  EXPECT_LT(points[0].mean_delay, points[1].mean_delay);
+}
+
+TEST(EffectiveK, ReductionsAreOrderedByJensen) {
+  const auto topo = small_trace();
+  const double optimistic = effective_k(topo, KEstimate::kInverseMeanPrr);
+  const double pessimistic = effective_k(topo, KEstimate::kHarmonicMean);
+  const double tree = effective_k(topo, KEstimate::kTreeWeighted);
+  // Jensen: mean(1/q) >= 1/mean(q); all are >= 1 transmission.
+  EXPECT_GE(pessimistic, optimistic);
+  EXPECT_GE(optimistic, 1.0);
+  // The ETX tree picks good links, so it beats the all-links harmonic mean.
+  EXPECT_LT(tree, pessimistic);
+  EXPECT_GE(tree, 1.0);
+}
+
+TEST(EffectiveK, HomogeneousNetworkCollapsesAllModes) {
+  const auto topo = topology::make_complete(10, 0.5);
+  for (const auto mode :
+       {KEstimate::kInverseMeanPrr, KEstimate::kHarmonicMean,
+        KEstimate::kTreeWeighted}) {
+    EXPECT_NEAR(effective_k(topo, mode), 2.0, 1e-9);
+  }
+}
+
+TEST(EffectiveK, RejectsLinklessTopology) {
+  const topology::Topology lonely{std::vector<topology::Point2D>(3)};
+  EXPECT_THROW((void)effective_k(lonely, KEstimate::kInverseMeanPrr),
+               InvalidArgument);
+}
+
+TEST(Experiment, PacketSeriesHasOneEntryPerPacket) {
+  const auto topo = small_trace();
+  sim::SimConfig config = quick().base;
+  config.num_packets = 8;
+  const auto series = run_packet_series(topo, "dbao", config);
+  EXPECT_EQ(series.protocol, "dbao");
+  ASSERT_EQ(series.total_delay.size(), 8u);
+  for (std::size_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(series.total_delay[p],
+              series.queueing_delay[p] + series.transmission_delay[p]);
+  }
+}
+
+}  // namespace
+}  // namespace ldcf::analysis

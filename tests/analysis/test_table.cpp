@@ -1,0 +1,53 @@
+#include "ldcf/analysis/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::analysis {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "longheader"});
+  t.add_row({"1", "2"});
+  t.add_row({"333333", "4"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("longheader"), std::string::npos);
+  EXPECT_NE(s.find("333333"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, RowWidthValidated) {
+  Table t({"x", "y"});
+  EXPECT_THROW(t.add_row({"1"}), InvalidArgument);
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"}).add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace ldcf::analysis

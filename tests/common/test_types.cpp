@@ -1,0 +1,46 @@
+#include "ldcf/common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldcf {
+namespace {
+
+TEST(DutyCycle, RatioIsReciprocalOfPeriod) {
+  EXPECT_DOUBLE_EQ(DutyCycle{20}.ratio(), 0.05);
+  EXPECT_DOUBLE_EQ(DutyCycle{50}.ratio(), 0.02);
+  EXPECT_DOUBLE_EQ(DutyCycle{1}.ratio(), 1.0);
+}
+
+TEST(DutyCycle, FromRatioRoundTrips) {
+  EXPECT_EQ(DutyCycle::from_ratio(0.05).period, 20u);
+  EXPECT_EQ(DutyCycle::from_ratio(0.02).period, 50u);
+  EXPECT_EQ(DutyCycle::from_ratio(0.10).period, 10u);
+  EXPECT_EQ(DutyCycle::from_ratio(0.20).period, 5u);
+  EXPECT_EQ(DutyCycle::from_ratio(1.0).period, 1u);
+}
+
+TEST(DutyCycle, FromRatioHandlesDegenerateInput) {
+  EXPECT_EQ(DutyCycle::from_ratio(0.0).period, 1u);
+  EXPECT_EQ(DutyCycle::from_ratio(-1.0).period, 1u);
+  // Ratios above 1 clamp to the always-on schedule.
+  EXPECT_EQ(DutyCycle::from_ratio(2.0).period, 1u);
+}
+
+TEST(DutyCycle, PaperOperatingPoints) {
+  // The evaluation sweeps duty cycles 2%..20% (Figs. 10-11) and uses 5% by
+  // default; make sure those round-trip exactly.
+  for (int pct = 2; pct <= 20; ++pct) {
+    const auto duty = DutyCycle::from_ratio(pct / 100.0);
+    EXPECT_NEAR(duty.ratio(), pct / 100.0, 0.03)
+        << "duty " << pct << "% maps to period " << duty.period;
+  }
+}
+
+TEST(Sentinels, AreDistinctFromValidValues) {
+  EXPECT_NE(kNoNode, NodeId{0});
+  EXPECT_NE(kNoPacket, PacketId{0});
+  EXPECT_NE(kNeverSlot, SlotIndex{0});
+}
+
+}  // namespace
+}  // namespace ldcf

@@ -1,0 +1,212 @@
+// Integration tests tying §IV's theory to the simulator — the repository's
+// equivalent of the paper's §V validation, in miniature and CI-sized.
+#include <gtest/gtest.h>
+
+#include "ldcf/analysis/experiment.hpp"
+#include "ldcf/common/error.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/theory/fdl.hpp"
+#include "ldcf/theory/fwl.hpp"
+#include "ldcf/theory/link_loss.hpp"
+#include "ldcf/topology/generators.hpp"
+#include "ldcf/topology/trace_io.hpp"
+
+#include <sstream>
+
+namespace ldcf {
+namespace {
+
+topology::Topology small_trace(std::uint64_t seed = 5) {
+  topology::ClusterConfig config;
+  config.base.num_sensors = 60;
+  config.base.area_side_m = 260.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = seed;
+  config.num_clusters = 6;
+  config.cluster_sigma_m = 30.0;
+  return topology::make_clustered(config);
+}
+
+TEST(PaperValidation, EigenvaluePredictionBoundsSimulatedSinglePacket) {
+  // §IV-B: on a homogeneous k-class network the cover time behaves like
+  // log(1+N)/log(lambda). Run the oracle on a complete graph with uniform
+  // link quality and compare orders of magnitude.
+  for (const double q : {1.0, 0.7, 0.5}) {
+    const auto topo = topology::make_complete(64, q);
+    sim::SimConfig config;
+    config.num_packets = 1;
+    config.duty = DutyCycle{10};
+    config.coverage_fraction = 1.0;
+    config.seed = 3;
+    const auto proto = protocols::make_protocol("opt");
+    const auto res = sim::run_simulation(topo, config, *proto);
+    ASSERT_TRUE(res.metrics.all_covered);
+    const double predicted = theory::predicted_flooding_delay(
+        64, theory::k_class_of_quality(q), config.duty);
+    const auto measured =
+        static_cast<double>(res.metrics.packets[0].total_delay());
+    // The prediction is a limit argument; a single finite run lands within
+    // a small constant factor of it.
+    EXPECT_GT(measured, 0.25 * predicted) << "q=" << q;
+    EXPECT_LT(measured, 4.0 * predicted + 2.0 * config.duty.period)
+        << "q=" << q;
+  }
+}
+
+TEST(PaperValidation, AnalyticBoundStaysBelowEveryProtocol) {
+  // Fig. 10's "Predicted Lower Bound" row: the §IV-B single-packet cover
+  // time must sit below the measured per-packet delay of every protocol.
+  const auto topo = small_trace();
+  const double k = theory::k_class_of_quality(topo.mean_prr());
+  analysis::ExperimentConfig config;
+  config.base.num_packets = 10;
+  config.base.seed = 3;
+  config.base.max_slots = 2'000'000;
+  for (const double ratio : {0.2, 0.05}) {
+    const DutyCycle duty = DutyCycle::from_ratio(ratio);
+    const double bound = theory::predicted_coverage_delay(
+        topo.num_sensors(), config.base.coverage_fraction, k, duty);
+    for (const char* name : {"opt", "dbao", "of"}) {
+      const auto point = analysis::run_point(topo, name, duty, config);
+      EXPECT_GT(point.mean_delay, bound)
+          << name << " at duty " << ratio;
+    }
+  }
+}
+
+TEST(PaperValidation, TraceRoundTripPreservesSimulationExactly) {
+  // Trace-driven means trace-driven: simulating a loaded trace must equal
+  // simulating the generated topology bit for bit.
+  const auto topo = small_trace(8);
+  std::stringstream stream;
+  topology::write_trace(topo, stream);
+  const auto loaded = topology::read_trace(stream);
+
+  sim::SimConfig config;
+  config.num_packets = 6;
+  config.seed = 17;
+  const auto proto_a = protocols::make_protocol("dbao");
+  const auto proto_b = protocols::make_protocol("dbao");
+  const auto res_a = sim::run_simulation(topo, config, *proto_a);
+  const auto res_b = sim::run_simulation(loaded, config, *proto_b);
+  EXPECT_EQ(res_a.metrics.end_slot, res_b.metrics.end_slot);
+  EXPECT_EQ(res_a.metrics.channel.attempts, res_b.metrics.channel.attempts);
+  EXPECT_EQ(res_a.metrics.channel.losses, res_b.metrics.channel.losses);
+  for (PacketId p = 0; p < config.num_packets; ++p) {
+    EXPECT_EQ(res_a.metrics.packets[p].covered_at,
+              res_b.metrics.packets[p].covered_at);
+  }
+}
+
+TEST(PaperValidation, DelayNeverBeatsHopDepthTimesOneSlot) {
+  // A packet needs at least eccentricity transmissions to cross the
+  // network, so even the oracle's max delay exceeds the hop depth.
+  const auto topo = small_trace();
+  sim::SimConfig config;
+  config.num_packets = 3;
+  config.seed = 5;
+  const auto proto = protocols::make_protocol("opt");
+  const auto res = sim::run_simulation(topo, config, *proto);
+  ASSERT_TRUE(res.metrics.all_covered);
+  EXPECT_GE(res.metrics.max_total_delay(), topo.eccentricity_from_source());
+}
+
+TEST(PaperValidation, MoreActiveSlotsPerPeriodCutDelay) {
+  // The generalized schedule: doubling the active slots at fixed T behaves
+  // like halving the sleep latency.
+  const auto topo = small_trace();
+  const auto run_with = [&](std::uint32_t slots) {
+    sim::SimConfig config;
+    config.num_packets = 8;
+    config.duty = DutyCycle{20};
+    config.slots_per_period = slots;
+    config.seed = 9;
+    const auto proto = protocols::make_protocol("opt");
+    return sim::run_simulation(topo, config, *proto);
+  };
+  const auto one = run_with(1);
+  const auto four = run_with(4);
+  ASSERT_TRUE(one.metrics.all_covered);
+  ASSERT_TRUE(four.metrics.all_covered);
+  EXPECT_LT(four.metrics.mean_total_delay(),
+            0.7 * one.metrics.mean_total_delay());
+}
+
+TEST(PaperValidation, KneeVisibleInSimulatedDelaysToo) {
+  // Corollary 1 in vivo: with the oracle, the marginal delay of one extra
+  // packet beyond the blocking window is much smaller than the cost of the
+  // first packets (pipelining).
+  const auto topo = small_trace();
+  const auto run_with = [&](std::uint32_t packets) {
+    sim::SimConfig config;
+    config.num_packets = packets;
+    config.duty = DutyCycle{10};
+    config.seed = 21;
+    const auto proto = protocols::make_protocol("opt");
+    const auto res = sim::run_simulation(topo, config, *proto);
+    return res.metrics.packets.back().total_delay();
+  };
+  // Delay of the last packet grows sublinearly in M past the knee.
+  const auto at_10 = static_cast<double>(run_with(10));
+  const auto at_20 = static_cast<double>(run_with(20));
+  EXPECT_LT(at_20, 2.2 * at_10);
+  EXPECT_GT(at_20, at_10);
+}
+
+TEST(PaperValidation, ArbitraryFloodingSourceWorks) {
+  // The paper fixes node 0 as the source; the library allows any node.
+  const auto topo = small_trace();
+  for (const NodeId source : {NodeId{0}, NodeId{17}, NodeId{42}}) {
+    sim::SimConfig config;
+    config.num_packets = 4;
+    config.duty = DutyCycle{10};
+    config.seed = 5;
+    config.source = source;
+    config.max_slots = 2'000'000;
+    for (const char* name : {"opt", "dbao", "of"}) {
+      const auto proto = protocols::make_protocol(name);
+      const auto res = sim::run_simulation(topo, config, *proto);
+      EXPECT_TRUE(res.metrics.all_covered)
+          << name << " from source " << source;
+    }
+  }
+  // Out-of-range sources are rejected.
+  sim::SimConfig config;
+  config.source = static_cast<NodeId>(topo.num_nodes());
+  const auto proto = protocols::make_protocol("opt");
+  EXPECT_THROW((void)sim::run_simulation(topo, config, *proto),
+               ::ldcf::InvalidArgument);
+}
+
+class SeedGrid : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedGrid, LedgerInvariantsHoldForEveryProtocol) {
+  const auto topo = small_trace(GetParam());
+  for (const auto& name : protocols::protocol_names()) {
+    sim::SimConfig config;
+    config.num_packets = 4;
+    config.duty = DutyCycle{8};
+    config.seed = GetParam() * 101 + 7;
+    config.max_slots = 2'000'000;
+    const auto proto = protocols::make_protocol(name);
+    const auto res = sim::run_simulation(topo, config, *proto);
+    const auto& c = res.metrics.channel;
+    EXPECT_EQ(c.attempts,
+              c.delivered + c.losses + c.collisions + c.receiver_busy +
+                  c.broadcasts)
+        << name;
+    // Fresh copies arrive via unicast or overhearing; the channel's
+    // `delivered` covers only the unicasts (fresh + duplicate).
+    std::uint64_t fresh = 0;
+    for (const auto& rec : res.metrics.packets) fresh += rec.deliveries;
+    EXPECT_EQ(c.delivered, fresh - c.overhear_deliveries + c.duplicates)
+        << name;
+    EXPECT_TRUE(res.metrics.all_covered) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedGrid, ::testing::Values(5, 6, 7));
+
+}  // namespace
+}  // namespace ldcf

@@ -1,0 +1,98 @@
+#include "ldcf/optimize/duty_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/theory/link_loss.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace ldcf::optimize {
+namespace {
+
+const std::vector<std::uint32_t> kPeriods{5, 7, 10, 14, 20, 25, 33, 50};
+
+TEST(AnalyticDelay, GrowsWithPeriodAndPackets) {
+  const double k = 1.6;
+  EXPECT_LT(analytic_delay(298, 10, k, DutyCycle{5}, 0.99),
+            analytic_delay(298, 10, k, DutyCycle{50}, 0.99));
+  EXPECT_LT(analytic_delay(298, 1, k, DutyCycle{20}, 0.99),
+            analytic_delay(298, 100, k, DutyCycle{20}, 0.99));
+}
+
+TEST(AnalyticDelay, SinglePacketReducesToCoverTime) {
+  const double k = 1.4;
+  const DutyCycle duty{20};
+  EXPECT_DOUBLE_EQ(
+      analytic_delay(298, 1, k, duty, 0.99),
+      theory::predicted_coverage_delay(298, 0.99, k, duty));
+}
+
+TEST(OptimizeAnalytic, FindsInteriorOptimumWithRealSleepCost) {
+  // With a non-zero sleep cost the lifetime gain saturates at long periods
+  // while delay keeps growing, so the best gain is at an interior duty.
+  sim::EnergyModel energy;
+  energy.sleep_cost = 0.01;
+  const auto result = optimize_analytic(298, 100, 1.6, kPeriods, energy);
+  ASSERT_EQ(result.scanned.size(), kPeriods.size());
+  EXPECT_GT(result.best.gain, 0.0);
+  EXPECT_GT(result.best.duty.period, kPeriods.front());
+  EXPECT_LT(result.best.duty.period, kPeriods.back());
+}
+
+TEST(OptimizeAnalytic, HigherDelayWeightPrefersShorterPeriods) {
+  sim::EnergyModel energy;
+  energy.sleep_cost = 0.01;
+  GainModel latency_sensitive;
+  latency_sensitive.delay_exponent = 2.0;
+  GainModel lifetime_heavy;
+  lifetime_heavy.delay_exponent = 0.5;
+  const auto fast = optimize_analytic(298, 100, 1.6, kPeriods, energy,
+                                      latency_sensitive);
+  const auto durable =
+      optimize_analytic(298, 100, 1.6, kPeriods, energy, lifetime_heavy);
+  EXPECT_LE(fast.best.duty.period, durable.best.duty.period);
+}
+
+TEST(OptimizeAnalytic, ScannedPointsAreSelfConsistent) {
+  sim::EnergyModel energy;
+  const auto result = optimize_analytic(298, 50, 1.5, kPeriods, energy);
+  for (const auto& p : result.scanned) {
+    EXPECT_GT(p.delay_slots, 0.0);
+    EXPECT_GT(p.lifetime_slots, 0.0);
+    EXPECT_NEAR(p.gain, p.lifetime_slots / p.delay_slots, 1e-9);
+    EXPECT_LE(p.gain, result.best.gain);
+  }
+  EXPECT_THROW((void)optimize_analytic(298, 50, 1.5, {}, energy),
+               InvalidArgument);
+}
+
+TEST(OptimizeSimulated, AgreesOnGainShapeWithAnalytic) {
+  topology::ClusterConfig config;
+  config.base.num_sensors = 60;
+  config.base.area_side_m = 260.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = 5;
+  config.num_clusters = 6;
+  config.cluster_sigma_m = 30.0;
+  const auto topo = topology::make_clustered(config);
+
+  sim::SimConfig base;
+  base.num_packets = 8;
+  base.seed = 3;
+  base.max_slots = 2'000'000;
+  base.energy.sleep_cost = 0.01;
+  const auto result = optimize_simulated(topo, "dbao", {0.2, 0.1, 0.05, 0.02},
+                                         base);
+  ASSERT_EQ(result.scanned.size(), 4u);
+  EXPECT_GT(result.best.gain, 0.0);
+  // Delay grows monotonically as duty shrinks.
+  for (std::size_t i = 1; i < result.scanned.size(); ++i) {
+    EXPECT_GT(result.scanned[i].delay_slots,
+              result.scanned[i - 1].delay_slots);
+  }
+  EXPECT_THROW((void)optimize_simulated(topo, "dbao", {}, base),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ldcf::optimize

@@ -1,0 +1,105 @@
+#include "ldcf/protocols/cross_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldcf/protocols/dbao.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace ldcf::protocols {
+namespace {
+
+topology::Topology trace() {
+  topology::ClusterConfig config;
+  config.base.num_sensors = 60;
+  config.base.area_side_m = 260.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = 5;
+  config.num_clusters = 6;
+  config.cluster_sigma_m = 30.0;
+  return topology::make_clustered(config);
+}
+
+template <typename Protocol>
+sim::SimResult run(const topology::Topology& topo, Protocol&& proto,
+                   std::uint32_t packets = 10, std::uint32_t period = 10) {
+  sim::SimConfig config;
+  config.num_packets = packets;
+  config.duty = DutyCycle{period};
+  config.seed = 13;
+  config.max_slots = 2'000'000;
+  return sim::run_simulation(topo, config, proto);
+}
+
+TEST(CrossLayer, FlagsAndName) {
+  CrossLayerFlooding proto;
+  EXPECT_EQ(proto.name(), "xlayer");
+  EXPECT_TRUE(proto.wants_overhearing());  // inherits the DBAO MAC.
+  EXPECT_FALSE(proto.collision_free_oracle());
+}
+
+TEST(CrossLayer, CoversTheNetwork) {
+  const auto topo = trace();
+  CrossLayerFlooding proto;
+  const auto res = run(topo, proto);
+  EXPECT_TRUE(res.metrics.all_covered);
+}
+
+TEST(CrossLayer, NotSlowerThanPlainDbao) {
+  // The opportunistic layer may only help (the MAC veto prevents it from
+  // disrupting scheduled traffic); allow 10% noise.
+  const auto topo = trace();
+  CrossLayerFlooding xl;
+  DbaoFlooding dbao;
+  const auto res_xl = run(topo, xl, 20);
+  const auto res_dbao = run(topo, dbao, 20);
+  ASSERT_TRUE(res_xl.metrics.all_covered);
+  ASSERT_TRUE(res_dbao.metrics.all_covered);
+  EXPECT_LT(res_xl.metrics.mean_total_delay(),
+            1.10 * res_dbao.metrics.mean_total_delay());
+}
+
+TEST(CrossLayer, GamblingWindowScalesWithPeriod) {
+  // The duty-aware gate is denominated in periods: with an enormous
+  // min_remaining_periods no gamble ever fires and xlayer degenerates to
+  // DBAO exactly (same RNG consumption aside).
+  const auto topo = trace();
+  CrossLayerConfig never;
+  never.min_remaining_periods = 1e9;
+  CrossLayerFlooding frozen(never);
+  DbaoFlooding dbao;
+  const auto res_frozen = run(topo, frozen, 10);
+  const auto res_dbao = run(topo, dbao, 10);
+  ASSERT_TRUE(res_frozen.metrics.all_covered);
+  // No extra attempts beyond what DBAO's machinery schedules.
+  EXPECT_NEAR(static_cast<double>(res_frozen.metrics.channel.attempts),
+              static_cast<double>(res_dbao.metrics.channel.attempts),
+              0.05 * static_cast<double>(res_dbao.metrics.channel.attempts));
+}
+
+TEST(CrossLayer, BoldGamblingAddsTraffic) {
+  const auto topo = trace();
+  CrossLayerConfig shy;
+  shy.min_link_prr = 0.99;
+  CrossLayerConfig bold;
+  bold.min_link_prr = 0.2;
+  bold.min_remaining_periods = 0.0;
+  bold.quantile_z = 0.0;
+  CrossLayerFlooding shy_proto(shy);
+  CrossLayerFlooding bold_proto(bold);
+  const auto res_shy = run(topo, shy_proto, 10);
+  const auto res_bold = run(topo, bold_proto, 10);
+  ASSERT_TRUE(res_shy.metrics.all_covered);
+  ASSERT_TRUE(res_bold.metrics.all_covered);
+  EXPECT_GT(res_bold.metrics.channel.attempts,
+            res_shy.metrics.channel.attempts);
+}
+
+TEST(CrossLayer, RegisteredInTheFactory) {
+  const auto proto = make_protocol("xlayer");
+  EXPECT_EQ(proto->name(), "xlayer");
+}
+
+}  // namespace
+}  // namespace ldcf::protocols

@@ -1,0 +1,116 @@
+#include "ldcf/protocols/dbao.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace ldcf::protocols {
+namespace {
+
+sim::SimResult run_dbao(const topology::Topology& topo,
+                        const DbaoConfig& dconf, std::uint32_t packets = 8,
+                        std::uint64_t seed = 13) {
+  sim::SimConfig config;
+  config.num_packets = packets;
+  config.duty = DutyCycle{10};
+  config.seed = seed;
+  config.max_slots = 3'000'000;
+  DbaoFlooding proto(dconf);
+  return sim::run_simulation(topo, config, proto);
+}
+
+topology::Topology trace() {
+  topology::ClusterConfig config;
+  config.base.num_sensors = 60;
+  config.base.area_side_m = 260.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = 5;
+  config.num_clusters = 6;
+  config.cluster_sigma_m = 30.0;
+  return topology::make_clustered(config);
+}
+
+TEST(Dbao, FlagsAndName) {
+  DbaoFlooding proto;
+  EXPECT_EQ(proto.name(), "dbao");
+  EXPECT_TRUE(proto.wants_overhearing());
+  EXPECT_FALSE(proto.collision_free_oracle());
+  DbaoConfig config;
+  config.overhearing = false;
+  DbaoFlooding muted(config);
+  EXPECT_FALSE(muted.wants_overhearing());
+}
+
+TEST(Dbao, CoversWithDefaults) {
+  const auto topo = trace();
+  const auto res = run_dbao(topo, DbaoConfig{});
+  EXPECT_TRUE(res.metrics.all_covered);
+}
+
+TEST(Dbao, DeterministicBackoffReducesCollisions) {
+  const auto topo = trace();
+  DbaoConfig with;
+  DbaoConfig without;
+  without.deterministic_backoff = false;
+  const auto res_with = run_dbao(topo, with);
+  const auto res_without = run_dbao(topo, without);
+  ASSERT_TRUE(res_with.metrics.all_covered);
+  ASSERT_TRUE(res_without.metrics.all_covered);
+  EXPECT_LT(res_with.metrics.channel.collisions,
+            res_without.metrics.channel.collisions);
+}
+
+TEST(Dbao, TinyCsRangeLeavesHiddenTerminals) {
+  const auto topo = trace();
+  DbaoConfig tiny;
+  tiny.cs_range_factor = 0.0;  // only decodable links carrier-sense.
+  const auto res = run_dbao(topo, tiny);
+  ASSERT_TRUE(res.metrics.all_covered);
+  // With CS crippled, hidden-terminal collisions must appear.
+  EXPECT_GT(res.metrics.channel.collisions, 0u);
+}
+
+TEST(Dbao, OverhearingCutsDuplicates) {
+  const auto topo = trace();
+  DbaoConfig with;
+  DbaoConfig without;
+  without.overhearing = false;
+  const auto res_with = run_dbao(topo, with, 12);
+  const auto res_without = run_dbao(topo, without, 12);
+  ASSERT_TRUE(res_with.metrics.all_covered);
+  ASSERT_TRUE(res_without.metrics.all_covered);
+  // Overhearing both delivers free copies and retires pending pairs; with
+  // it off, neither may happen. Attempt counts are noisy across the two
+  // different channel trajectories, so allow 10% slack.
+  EXPECT_GT(res_with.metrics.channel.overhear_deliveries, 0u);
+  EXPECT_EQ(res_without.metrics.channel.overhear_deliveries, 0u);
+  EXPECT_LE(static_cast<double>(res_with.metrics.channel.attempts),
+            1.10 * static_cast<double>(res_without.metrics.channel.attempts));
+}
+
+TEST(Dbao, MoreResponsibleSendersMoreRedundancy) {
+  const auto topo = trace();
+  DbaoConfig narrow;
+  narrow.responsible_senders = 1;
+  DbaoConfig wide;
+  wide.responsible_senders = 6;
+  const auto res_narrow = run_dbao(topo, narrow);
+  const auto res_wide = run_dbao(topo, wide);
+  ASSERT_TRUE(res_narrow.metrics.all_covered);
+  ASSERT_TRUE(res_wide.metrics.all_covered);
+  EXPECT_LT(res_narrow.metrics.channel.attempts,
+            res_wide.metrics.channel.attempts);
+}
+
+TEST(Dbao, WorksOnCompleteGraphWithoutPositions) {
+  // make_complete puts every node at the origin; the distance-based CS
+  // logic must degrade gracefully (everyone carrier-senses everyone).
+  const auto topo = topology::make_complete(12, 0.8);
+  const auto res = run_dbao(topo, DbaoConfig{}, 4);
+  EXPECT_TRUE(res.metrics.all_covered);
+  EXPECT_EQ(res.metrics.channel.collisions, 0u);
+}
+
+}  // namespace
+}  // namespace ldcf::protocols

@@ -1,0 +1,161 @@
+// Cross-protocol integration tests on a small GreenOrbs-like trace: every
+// protocol must terminate, cover the network, and reproduce the paper's
+// qualitative ordering.
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace ldcf::protocols {
+namespace {
+
+topology::Topology small_trace() {
+  topology::ClusterConfig config;
+  config.base.num_sensors = 60;
+  config.base.area_side_m = 260.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = 5;
+  config.num_clusters = 6;
+  config.cluster_sigma_m = 30.0;
+  return topology::make_clustered(config);
+}
+
+sim::SimResult run(std::string_view name, const topology::Topology& topo,
+                   std::uint32_t packets = 10, std::uint32_t period = 10,
+                   std::uint64_t seed = 3) {
+  sim::SimConfig config;
+  config.num_packets = packets;
+  config.duty = DutyCycle{period};
+  config.seed = seed;
+  config.max_slots = 2'000'000;
+  auto proto = make_protocol(name);
+  return sim::run_simulation(topo, config, *proto);
+}
+
+TEST(Registry, KnowsAllProtocols) {
+  for (const auto& name : protocol_names()) {
+    const auto proto = make_protocol(name);
+    EXPECT_EQ(proto->name(), name);
+  }
+  EXPECT_THROW((void)make_protocol("bogus"), InvalidArgument);
+}
+
+class EveryProtocol : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryProtocol, CoversTheNetwork) {
+  const auto topo = small_trace();
+  const auto res = run(GetParam(), topo);
+  EXPECT_TRUE(res.metrics.all_covered) << GetParam();
+  for (const auto& rec : res.metrics.packets) {
+    EXPECT_TRUE(rec.covered());
+    EXPECT_GE(rec.total_delay(), 1u);
+    EXPECT_GE(rec.deliveries, res.metrics.coverage_target);
+  }
+}
+
+TEST_P(EveryProtocol, DelayDecomposes) {
+  const auto topo = small_trace();
+  const auto res = run(GetParam(), topo);
+  for (const auto& rec : res.metrics.packets) {
+    EXPECT_EQ(rec.queueing_delay() + rec.transmission_delay(),
+              rec.total_delay());
+  }
+}
+
+TEST_P(EveryProtocol, IsDeterministicPerSeed) {
+  const auto topo = small_trace();
+  const auto a = run(GetParam(), topo, 5);
+  const auto b = run(GetParam(), topo, 5);
+  EXPECT_EQ(a.metrics.end_slot, b.metrics.end_slot);
+  EXPECT_EQ(a.metrics.channel.attempts, b.metrics.channel.attempts);
+  EXPECT_EQ(a.metrics.channel.failures(), b.metrics.channel.failures());
+}
+
+TEST_P(EveryProtocol, LargerPeriodMeansMoreDelay) {
+  // Corollary 1: duty cycle period dominates the delay.
+  const auto topo = small_trace();
+  const auto fast = run(GetParam(), topo, 5, 5);
+  const auto slow = run(GetParam(), topo, 5, 25);
+  EXPECT_TRUE(fast.metrics.all_covered);
+  EXPECT_TRUE(slow.metrics.all_covered);
+  EXPECT_GT(slow.metrics.mean_total_delay(),
+            1.5 * fast.metrics.mean_total_delay());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, EveryProtocol,
+                         ::testing::Values("opt", "dbao", "of", "naive"));
+
+TEST(ProtocolOrdering, MatchesPaperFig9) {
+  // OPT <= DBAO <= OF on mean delay (allow 15% tolerance on the
+  // DBAO-vs-OF comparison, they are close by design).
+  const auto topo = small_trace();
+  const double opt = run("opt", topo).metrics.mean_total_delay();
+  const double dbao = run("dbao", topo).metrics.mean_total_delay();
+  const double of = run("of", topo).metrics.mean_total_delay();
+  EXPECT_LT(opt, dbao);
+  EXPECT_LT(dbao, 1.15 * of);
+}
+
+TEST(ProtocolOrdering, OptHasFewestFailures) {
+  // Fig. 11's ordering: the oracle only loses to the channel.
+  const auto topo = small_trace();
+  const auto opt = run("opt", topo).metrics.channel;
+  const auto dbao = run("dbao", topo).metrics.channel;
+  const auto of = run("of", topo).metrics.channel;
+  EXPECT_EQ(opt.collisions, 0u);
+  EXPECT_EQ(opt.duplicates, 0u);
+  EXPECT_LT(opt.failures(), dbao.failures());
+  EXPECT_LT(opt.failures(), of.failures());
+}
+
+TEST(ProtocolOrdering, NaiveIsTheWorst) {
+  const auto topo = small_trace();
+  const double naive = run("naive", topo).metrics.mean_total_delay();
+  for (const char* name : {"opt", "dbao", "of"}) {
+    EXPECT_GT(naive, run(name, topo).metrics.mean_total_delay()) << name;
+  }
+}
+
+TEST(ProtocolBehaviour, BlockingGrowsWithPacketIndex) {
+  // Fig. 9: as more packets are pushed, the queueing (blocking) share of the
+  // delay dominates; the last packets wait far longer than the first.
+  const auto topo = small_trace();
+  const auto res = run("dbao", topo, 30);
+  const auto& pkts = res.metrics.packets;
+  double early = 0.0;
+  double late = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    early += static_cast<double>(pkts[static_cast<std::size_t>(i)].total_delay());
+    late += static_cast<double>(
+        pkts[pkts.size() - 1 - static_cast<std::size_t>(i)].total_delay());
+  }
+  EXPECT_GT(late, 1.5 * early);
+}
+
+TEST(ProtocolBehaviour, TransmissionDelayStaysFlat) {
+  // Fig. 9's companion observation: the pure transmission part of the delay
+  // does not grow with the packet index the way the total does.
+  const auto topo = small_trace();
+  const auto res = run("opt", topo, 30);
+  const auto& pkts = res.metrics.packets;
+  double early_tx = 0.0;
+  double late_tx = 0.0;
+  double early_total = 0.0;
+  double late_total = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const auto& a = pkts[static_cast<std::size_t>(i)];
+    const auto& b = pkts[pkts.size() - 1 - static_cast<std::size_t>(i)];
+    early_tx += static_cast<double>(a.transmission_delay());
+    late_tx += static_cast<double>(b.transmission_delay());
+    early_total += static_cast<double>(a.total_delay());
+    late_total += static_cast<double>(b.total_delay());
+  }
+  const double tx_growth = late_tx / std::max(early_tx, 1.0);
+  const double total_growth = late_total / std::max(early_total, 1.0);
+  EXPECT_LT(tx_growth, total_growth);
+}
+
+}  // namespace
+}  // namespace ldcf::protocols

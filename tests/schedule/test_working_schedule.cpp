@@ -1,0 +1,201 @@
+#include "ldcf/schedule/working_schedule.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::schedule {
+namespace {
+
+TEST(ScheduleSet, ExplicitSchedulesValidate) {
+  const ScheduleSet sched({0, 3, 4}, DutyCycle{5});
+  EXPECT_EQ(sched.num_nodes(), 3u);
+  EXPECT_EQ(sched.period(), 5u);
+  EXPECT_EQ(sched.active_slot(1), 3u);
+  EXPECT_THROW(ScheduleSet({0, 5}, DutyCycle{5}), InvalidArgument);
+  EXPECT_THROW(ScheduleSet(std::vector<std::uint32_t>{}, DutyCycle{5}),
+               InvalidArgument);
+}
+
+TEST(ScheduleSet, IsActiveIsPeriodic) {
+  const ScheduleSet sched({2}, DutyCycle{5});
+  for (SlotIndex t = 0; t < 30; ++t) {
+    EXPECT_EQ(sched.is_active(0, t), t % 5 == 2) << "t=" << t;
+  }
+}
+
+TEST(ScheduleSet, NextActiveSlotIsTheSleepLatencyQuery) {
+  const ScheduleSet sched({2}, DutyCycle{5});
+  EXPECT_EQ(sched.next_active_slot(0, 0), 2u);   // wait 2.
+  EXPECT_EQ(sched.next_active_slot(0, 2), 2u);   // already active.
+  EXPECT_EQ(sched.next_active_slot(0, 3), 7u);   // missed: wait a period.
+  EXPECT_EQ(sched.next_active_slot(0, 7), 7u);
+  EXPECT_EQ(sched.next_active_slot(0, 8), 12u);
+  EXPECT_EQ(sched.next_active_slot(0, 100), 102u);
+}
+
+TEST(ScheduleSet, NextActiveSlotAlwaysActiveAndMinimal) {
+  Rng rng(3);
+  const ScheduleSet sched(20, DutyCycle{7}, rng);
+  for (NodeId n = 0; n < 20; ++n) {
+    for (SlotIndex t = 0; t < 40; ++t) {
+      const SlotIndex next = sched.next_active_slot(n, t);
+      EXPECT_GE(next, t);
+      EXPECT_LT(next - t, 7u);  // never waits more than one period.
+      EXPECT_TRUE(sched.is_active(n, next));
+      for (SlotIndex s = t; s < next; ++s) {
+        EXPECT_FALSE(sched.is_active(n, s));
+      }
+    }
+  }
+}
+
+TEST(ScheduleSet, ActiveNodesBucketsAreConsistent) {
+  Rng rng(9);
+  const ScheduleSet sched(50, DutyCycle{10}, rng);
+  for (SlotIndex t = 0; t < 20; ++t) {
+    const auto active = sched.active_nodes(t);
+    for (const NodeId n : active) {
+      EXPECT_TRUE(sched.is_active(n, t));
+    }
+    std::size_t count = 0;
+    for (NodeId n = 0; n < 50; ++n) {
+      if (sched.is_active(n, t)) ++count;
+    }
+    EXPECT_EQ(active.size(), count);
+  }
+}
+
+TEST(ScheduleSet, EveryNodeActiveExactlyOncePerPeriod) {
+  Rng rng(1);
+  const ScheduleSet sched(100, DutyCycle{20}, rng);
+  std::vector<int> activations(100, 0);
+  for (SlotIndex t = 0; t < 20; ++t) {
+    for (const NodeId n : sched.active_nodes(t)) ++activations[n];
+  }
+  for (const int a : activations) EXPECT_EQ(a, 1);
+}
+
+TEST(ScheduleSet, RandomSlotsAreRoughlyUniform) {
+  Rng rng(77);
+  const ScheduleSet sched(20000, DutyCycle{20}, rng);
+  std::vector<int> hist(20, 0);
+  for (NodeId n = 0; n < 20000; ++n) ++hist[sched.active_slot(n)];
+  for (const int h : hist) {
+    EXPECT_NEAR(h, 1000, 150);
+  }
+}
+
+TEST(ScheduleSet, ExpectedSleepLatency) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(ScheduleSet(3, DutyCycle{20}, rng).expected_sleep_latency(),
+                   9.5);
+  EXPECT_DOUBLE_EQ(ScheduleSet(3, DutyCycle{1}, rng).expected_sleep_latency(),
+                   0.0);
+}
+
+TEST(ScheduleSet, AlwaysOnDegenerateCase) {
+  Rng rng(2);
+  const ScheduleSet sched(5, DutyCycle{1}, rng);
+  for (NodeId n = 0; n < 5; ++n) {
+    for (SlotIndex t = 0; t < 10; ++t) {
+      EXPECT_TRUE(sched.is_active(n, t));
+      EXPECT_EQ(sched.next_active_slot(n, t), t);
+    }
+  }
+  EXPECT_EQ(sched.active_nodes(0).size(), 5u);
+}
+
+TEST(ScheduleSet, OutOfRangeNodeThrows) {
+  const ScheduleSet sched({0}, DutyCycle{5});
+  EXPECT_THROW((void)sched.active_slot(1), InvalidArgument);
+  EXPECT_THROW((void)sched.is_active(1, 0), InvalidArgument);
+  EXPECT_THROW((void)sched.next_active_slot(1, 0), InvalidArgument);
+}
+
+class SleepLatencyStats : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SleepLatencyStats, EmpiricalMeanMatchesClosedForm) {
+  const std::uint32_t period = GetParam();
+  Rng rng(42);
+  const ScheduleSet sched(200, DutyCycle{period}, rng);
+  double total = 0.0;
+  std::size_t samples = 0;
+  for (NodeId n = 0; n < 200; ++n) {
+    for (SlotIndex t = 0; t < period; ++t) {
+      total += static_cast<double>(sched.next_active_slot(n, t) - t);
+      ++samples;
+    }
+  }
+  // Averaging over all phases gives exactly (T-1)/2 for every node.
+  EXPECT_NEAR(total / static_cast<double>(samples),
+              sched.expected_sleep_latency(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, SleepLatencyStats,
+                         ::testing::Values(1u, 2u, 5u, 20u, 50u));
+
+TEST(MultiSlotSchedule, HasDistinctSlotsAndHigherDutyRatio) {
+  Rng rng(4);
+  const ScheduleSet sched(50, DutyCycle{20}, rng, 4);
+  EXPECT_EQ(sched.slots_per_period(), 4u);
+  EXPECT_DOUBLE_EQ(sched.duty_ratio(), 0.2);
+  for (NodeId n = 0; n < 50; ++n) {
+    const auto slots = sched.active_slots(n);
+    ASSERT_EQ(slots.size(), 4u);
+    for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+      EXPECT_LT(slots[i], slots[i + 1]);  // sorted, distinct.
+    }
+    EXPECT_EQ(sched.active_slot(n), slots.front());
+  }
+}
+
+TEST(MultiSlotSchedule, IsActiveMatchesEachSlot) {
+  Rng rng(8);
+  const ScheduleSet sched(30, DutyCycle{10}, rng, 3);
+  for (NodeId n = 0; n < 30; ++n) {
+    std::size_t active_count = 0;
+    for (SlotIndex t = 0; t < 10; ++t) {
+      if (sched.is_active(n, t)) ++active_count;
+    }
+    EXPECT_EQ(active_count, 3u);
+  }
+}
+
+TEST(MultiSlotSchedule, NextActiveSlotIsMinimal) {
+  Rng rng(15);
+  const ScheduleSet sched(20, DutyCycle{12}, rng, 3);
+  for (NodeId n = 0; n < 20; ++n) {
+    for (SlotIndex t = 0; t < 36; ++t) {
+      const SlotIndex next = sched.next_active_slot(n, t);
+      EXPECT_GE(next, t);
+      EXPECT_TRUE(sched.is_active(n, next));
+      for (SlotIndex s = t; s < next; ++s) {
+        EXPECT_FALSE(sched.is_active(n, s));
+      }
+    }
+  }
+}
+
+TEST(MultiSlotSchedule, SleepLatencyShrinksWithMoreSlots) {
+  Rng rng(2);
+  const ScheduleSet one(10, DutyCycle{20}, rng, 1);
+  const ScheduleSet four(10, DutyCycle{20}, rng, 4);
+  EXPECT_GT(one.expected_sleep_latency(), four.expected_sleep_latency());
+}
+
+TEST(MultiSlotSchedule, RejectsBadSlotCounts) {
+  Rng rng(1);
+  EXPECT_THROW(ScheduleSet(5, DutyCycle{10}, rng, 0), InvalidArgument);
+  EXPECT_THROW(ScheduleSet(5, DutyCycle{10}, rng, 11), InvalidArgument);
+  // k == T degenerates to always-on and is allowed.
+  const ScheduleSet full(5, DutyCycle{10}, rng, 10);
+  for (SlotIndex t = 0; t < 10; ++t) {
+    EXPECT_EQ(full.active_nodes(t).size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace ldcf::schedule

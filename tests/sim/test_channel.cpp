@@ -1,0 +1,209 @@
+#include "ldcf/sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/topology/topology.hpp"
+
+namespace ldcf::sim {
+namespace {
+
+using topology::Point2D;
+using topology::Topology;
+
+/// 0 -- 1 -- 2 -- 3 chain plus a 0--2 shortcut, all perfect links.
+Topology chain4() {
+  Topology topo{std::vector<Point2D>(4)};
+  topo.add_symmetric_link(0, 1, 1.0);
+  topo.add_symmetric_link(1, 2, 1.0);
+  topo.add_symmetric_link(2, 3, 1.0);
+  topo.add_symmetric_link(0, 2, 1.0);
+  return topo;
+}
+
+TEST(Channel, PerfectLinkDelivers) {
+  const Topology topo = chain4();
+  Rng rng(1);
+  const std::vector<TxIntent> intents{{0, 1, 0}};
+  const auto res =
+      resolve_slot(topo, intents, {1}, ChannelConfig{true, false}, rng);
+  ASSERT_EQ(res.results.size(), 1u);
+  EXPECT_EQ(res.results[0].outcome, TxOutcome::kDelivered);
+}
+
+TEST(Channel, LossyLinkMatchesPrrStatistically) {
+  Topology topo{std::vector<Point2D>(2)};
+  topo.add_symmetric_link(0, 1, 0.3);
+  Rng rng(7);
+  int delivered = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::vector<TxIntent> intents{{0, 1, 0}};
+    const auto res =
+        resolve_slot(topo, intents, {1}, ChannelConfig{true, false}, rng);
+    if (res.results[0].outcome == TxOutcome::kDelivered) ++delivered;
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / kTrials, 0.3, 0.02);
+}
+
+TEST(Channel, ConcurrentTransmissionsToSameReceiverCollide) {
+  const Topology topo = chain4();
+  Rng rng(2);
+  const std::vector<TxIntent> intents{{0, 2, 0}, {3, 2, 1}};
+  const auto res =
+      resolve_slot(topo, intents, {2}, ChannelConfig{true, false}, rng);
+  EXPECT_EQ(res.results[0].outcome, TxOutcome::kCollision);
+  EXPECT_EQ(res.results[1].outcome, TxOutcome::kCollision);
+}
+
+TEST(Channel, OracleModeIgnoresCollisions) {
+  const Topology topo = chain4();
+  Rng rng(2);
+  const std::vector<TxIntent> intents{{0, 2, 0}, {3, 2, 1}};
+  const auto res =
+      resolve_slot(topo, intents, {2}, ChannelConfig{false, false}, rng);
+  EXPECT_EQ(res.results[0].outcome, TxOutcome::kDelivered);
+  EXPECT_EQ(res.results[1].outcome, TxOutcome::kDelivered);
+}
+
+TEST(Channel, TransmittingReceiverIsBusy) {
+  const Topology topo = chain4();
+  Rng rng(3);
+  // 1 transmits to 2 while 0 transmits to 1: the copy to 1 is lost to
+  // semi-duplex.
+  const std::vector<TxIntent> intents{{1, 2, 0}, {0, 1, 0}};
+  const auto res =
+      resolve_slot(topo, intents, {1, 2}, ChannelConfig{true, false}, rng);
+  EXPECT_EQ(res.results[0].outcome, TxOutcome::kDelivered);
+  EXPECT_EQ(res.results[1].outcome, TxOutcome::kReceiverBusy);
+}
+
+TEST(Channel, DuplicateSenderIsRejected) {
+  const Topology topo = chain4();
+  Rng rng(4);
+  const std::vector<TxIntent> intents{{0, 1, 0}, {0, 2, 0}};
+  EXPECT_THROW(
+      (void)resolve_slot(topo, intents, {1, 2}, ChannelConfig{true, false}, rng),
+      ::ldcf::InternalError);
+}
+
+TEST(Channel, OverhearingDeliversToBystander) {
+  const Topology topo = chain4();
+  Rng rng(5);
+  // 1 -> 2; node 0 is active, idle, adjacent to 1: it must overhear (all
+  // links perfect).
+  const std::vector<TxIntent> intents{{1, 2, 7}};
+  const auto res =
+      resolve_slot(topo, intents, {0, 2}, ChannelConfig{true, true}, rng);
+  ASSERT_EQ(res.overhears.size(), 1u);
+  EXPECT_EQ(res.overhears[0].listener, 0u);
+  EXPECT_EQ(res.overhears[0].sender, 1u);
+  EXPECT_EQ(res.overhears[0].packet, 7u);
+}
+
+TEST(Channel, NoOverhearingWhenDisabled) {
+  const Topology topo = chain4();
+  Rng rng(5);
+  const std::vector<TxIntent> intents{{1, 2, 7}};
+  const auto res =
+      resolve_slot(topo, intents, {0, 2}, ChannelConfig{true, false}, rng);
+  EXPECT_TRUE(res.overhears.empty());
+}
+
+TEST(Channel, OverhearCollisionWhenTwoAudible) {
+  // Node 1 hears both 0 and 2 transmitting (to other receivers): the
+  // overhear attempt is itself a collision, nothing decoded.
+  Topology topo{std::vector<Point2D>(5)};
+  topo.add_symmetric_link(0, 1, 1.0);
+  topo.add_symmetric_link(2, 1, 1.0);
+  topo.add_symmetric_link(0, 3, 1.0);
+  topo.add_symmetric_link(2, 4, 1.0);
+  Rng rng(6);
+  const std::vector<TxIntent> intents{{0, 3, 0}, {2, 4, 0}};
+  const auto res =
+      resolve_slot(topo, intents, {1, 3, 4}, ChannelConfig{true, true}, rng);
+  EXPECT_TRUE(res.overhears.empty());
+}
+
+TEST(Channel, AddresseesAndTransmittersDoNotOverhear) {
+  const Topology topo = chain4();
+  Rng rng(8);
+  // 0 -> 1 and 2 -> 3: node 2 transmits so it cannot overhear 0 -> 1 even
+  // though it is adjacent to... (2 is adjacent to 1, not 0; use 1's tx).
+  const std::vector<TxIntent> intents{{1, 0, 0}, {2, 3, 1}};
+  const auto res =
+      resolve_slot(topo, intents, {0, 3}, ChannelConfig{true, true}, rng);
+  for (const auto& ov : res.overhears) {
+    EXPECT_NE(ov.listener, 0u);  // addressee of 1->0.
+    EXPECT_NE(ov.listener, 2u);  // transmitter.
+    EXPECT_NE(ov.listener, 3u);  // addressee of 2->3.
+  }
+}
+
+TEST(Channel, CaptureLetsTheDominantTransmissionSurvive) {
+  // 0 -> 2 over a strong link, 3 -> 2 over a weak one: with capture enabled
+  // and enough quality separation, the strong copy decodes.
+  Topology topo{std::vector<Point2D>(4)};
+  topo.add_symmetric_link(0, 2, 0.95);
+  topo.add_symmetric_link(3, 2, 0.2);
+  Rng rng(13);
+  const std::vector<TxIntent> intents{{0, 2, 0}, {3, 2, 1}};
+  ChannelConfig config{true, false, 1.0, /*capture_ratio=*/2.0};
+  int strong_delivered = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto res = resolve_slot(topo, intents, {2}, config, rng);
+    EXPECT_EQ(res.results[1].outcome, TxOutcome::kCollision);  // weak loses.
+    if (res.results[0].outcome == TxOutcome::kDelivered) ++strong_delivered;
+  }
+  EXPECT_GT(strong_delivered, 400);  // ~0.95 of 500.
+}
+
+TEST(Channel, NoCaptureWhenLinksAreComparable) {
+  Topology topo{std::vector<Point2D>(4)};
+  topo.add_symmetric_link(0, 2, 0.8);
+  topo.add_symmetric_link(3, 2, 0.7);
+  Rng rng(14);
+  const std::vector<TxIntent> intents{{0, 2, 0}, {3, 2, 1}};
+  const ChannelConfig config{true, false, 1.0, /*capture_ratio=*/2.0};
+  const auto res = resolve_slot(topo, intents, {2}, config, rng);
+  EXPECT_EQ(res.results[0].outcome, TxOutcome::kCollision);
+  EXPECT_EQ(res.results[1].outcome, TxOutcome::kCollision);
+}
+
+TEST(Channel, CaptureDisabledByDefault) {
+  Topology topo{std::vector<Point2D>(4)};
+  topo.add_symmetric_link(0, 2, 0.99);
+  topo.add_symmetric_link(3, 2, 0.1);
+  Rng rng(15);
+  const std::vector<TxIntent> intents{{0, 2, 0}, {3, 2, 1}};
+  const ChannelConfig config{true, false};
+  const auto res = resolve_slot(topo, intents, {2}, config, rng);
+  EXPECT_EQ(res.results[0].outcome, TxOutcome::kCollision);
+}
+
+TEST(Channel, PrrScaleDegradesDelivery) {
+  Topology topo{std::vector<Point2D>(2)};
+  topo.add_symmetric_link(0, 1, 1.0);
+  Rng rng(16);
+  ChannelConfig config{true, false, /*prr_scale=*/0.3};
+  int delivered = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::vector<TxIntent> intents{{0, 1, 0}};
+    const auto res = resolve_slot(topo, intents, {1}, config, rng);
+    if (res.results[0].outcome == TxOutcome::kDelivered) ++delivered;
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / kTrials, 0.3, 0.03);
+}
+
+TEST(Channel, EmptySlotIsEmpty) {
+  const Topology topo = chain4();
+  Rng rng(9);
+  const auto res =
+      resolve_slot(topo, {}, {0, 1, 2, 3}, ChannelConfig{true, true}, rng);
+  EXPECT_TRUE(res.results.empty());
+  EXPECT_TRUE(res.overhears.empty());
+}
+
+}  // namespace
+}  // namespace ldcf::sim

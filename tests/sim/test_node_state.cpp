@@ -1,0 +1,57 @@
+#include "ldcf/sim/node_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::sim {
+namespace {
+
+TEST(PossessionState, StartsEmpty) {
+  const PossessionState state(5, 3);
+  for (NodeId n = 0; n < 5; ++n) {
+    for (PacketId p = 0; p < 3; ++p) {
+      EXPECT_FALSE(state.has(n, p));
+    }
+  }
+  EXPECT_EQ(state.holders(0), 0u);
+  EXPECT_EQ(state.sensor_holders(0), 0u);
+}
+
+TEST(PossessionState, DeliverTracksCounts) {
+  PossessionState state(5, 2);
+  EXPECT_TRUE(state.deliver(0, 0));
+  EXPECT_TRUE(state.deliver(3, 0));
+  EXPECT_EQ(state.holders(0), 2u);
+  EXPECT_EQ(state.sensor_holders(0), 1u);  // source excluded.
+  EXPECT_EQ(state.holders(1), 0u);
+}
+
+TEST(PossessionState, DuplicateDeliveryReturnsFalse) {
+  PossessionState state(5, 2);
+  EXPECT_TRUE(state.deliver(2, 1));
+  EXPECT_FALSE(state.deliver(2, 1));
+  EXPECT_EQ(state.holders(1), 1u);
+}
+
+TEST(PossessionState, OutOfRangeThrows) {
+  PossessionState state(3, 2);
+  EXPECT_THROW(state.deliver(3, 0), InvalidArgument);
+  EXPECT_THROW(state.deliver(0, 2), InvalidArgument);
+  EXPECT_THROW((void)state.has(3, 0), InvalidArgument);
+  EXPECT_THROW((void)state.holders(2), InvalidArgument);
+  EXPECT_THROW(PossessionState(0, 1), InvalidArgument);
+  EXPECT_THROW(PossessionState(1, 0), InvalidArgument);
+}
+
+TEST(PossessionState, PacketsAreIndependent) {
+  PossessionState state(4, 3);
+  state.deliver(1, 0);
+  state.deliver(1, 2);
+  EXPECT_TRUE(state.has(1, 0));
+  EXPECT_FALSE(state.has(1, 1));
+  EXPECT_TRUE(state.has(1, 2));
+}
+
+}  // namespace
+}  // namespace ldcf::sim

@@ -1,0 +1,207 @@
+// Fault-injection tests: node deaths and bursty links through the engine.
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace ldcf::sim {
+namespace {
+
+topology::Topology trace() {
+  topology::ClusterConfig config;
+  config.base.num_sensors = 60;
+  config.base.area_side_m = 260.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = 5;
+  config.num_clusters = 6;
+  config.cluster_sigma_m = 30.0;
+  return topology::make_clustered(config);
+}
+
+SimResult run(const topology::Topology& topo, const Perturbations& perturb,
+              std::uint32_t packets = 8, double coverage = 0.99) {
+  SimConfig config;
+  config.num_packets = packets;
+  config.duty = DutyCycle{10};
+  config.seed = 13;
+  config.coverage_fraction = coverage;
+  config.max_slots = 2'000'000;
+  config.perturbations = perturb;
+  const auto proto = protocols::make_protocol("dbao");
+  return run_simulation(topo, config, *proto);
+}
+
+TEST(LinkBurstModel, WindowArithmetic) {
+  const LinkBurst burst{0.5, 100, 20, 200};
+  EXPECT_FALSE(burst.active_at(0));
+  EXPECT_FALSE(burst.active_at(99));
+  EXPECT_TRUE(burst.active_at(100));
+  EXPECT_TRUE(burst.active_at(119));
+  EXPECT_FALSE(burst.active_at(120));
+  EXPECT_TRUE(burst.active_at(300));   // next period.
+  EXPECT_FALSE(burst.active_at(321));
+}
+
+TEST(Perturbation, NoPerturbationMatchesBaseline) {
+  const auto topo = trace();
+  const auto base = run(topo, Perturbations{});
+  Perturbations empty;
+  const auto again = run(topo, empty);
+  EXPECT_EQ(base.metrics.end_slot, again.metrics.end_slot);
+  EXPECT_EQ(base.metrics.channel.attempts, again.metrics.channel.attempts);
+}
+
+TEST(Perturbation, NodeDeathStillCompletesWithClampedTarget) {
+  const auto topo = trace();
+  Perturbations perturb;
+  // Kill a handful of sensors before anything is flooded.
+  perturb.node_failures = {{5, 0}, {17, 0}, {23, 0}};
+  const auto res = run(topo, perturb, 6, /*coverage=*/1.0);
+  EXPECT_TRUE(res.metrics.all_covered);
+  for (const auto& rec : res.metrics.packets) {
+    // Dead-from-the-start nodes can never hold a packet, so deliveries stay
+    // below the full sensor population.
+    EXPECT_LE(rec.deliveries, topo.num_sensors() - 3);
+  }
+}
+
+TEST(Perturbation, MidRunDeathKeepsEarlierCopiesCounting) {
+  const auto topo = trace();
+  Perturbations perturb;
+  perturb.node_failures = {{7, 500}};  // dies mid-run.
+  const auto res = run(topo, perturb, 10, 1.0);
+  EXPECT_TRUE(res.metrics.all_covered);
+}
+
+TEST(Perturbation, KillingTheSourceIsRejected) {
+  const auto topo = trace();
+  Perturbations perturb;
+  perturb.node_failures = {{0, 10}};
+  SimConfig config;
+  config.num_packets = 1;
+  config.perturbations = perturb;
+  const auto proto = protocols::make_protocol("dbao");
+  EXPECT_THROW((void)run_simulation(topo, config, *proto), InvalidArgument);
+}
+
+TEST(Perturbation, DeadNodesNeverActNorReceive) {
+  const auto topo = trace();
+  Perturbations perturb;
+  const NodeId victim = 11;
+  perturb.node_failures = {{victim, 0}};
+  const auto res = run(topo, perturb, 5, 1.0);
+  EXPECT_TRUE(res.metrics.all_covered);
+  EXPECT_EQ(res.tally.tx_attempts[victim], 0u);
+  EXPECT_EQ(res.tally.receptions[victim], 0u);
+  EXPECT_EQ(res.tally.active_slots[victim], 0u);
+}
+
+TEST(Perturbation, BurstLossesSlowTheFlood) {
+  const auto topo = trace();
+  Perturbations heavy;
+  heavy.burst = LinkBurst{0.15, 0, 50, 100};  // half the time, 15% quality.
+  const auto base = run(topo, Perturbations{});
+  const auto degraded = run(topo, heavy);
+  ASSERT_TRUE(base.metrics.all_covered);
+  ASSERT_TRUE(degraded.metrics.all_covered);
+  EXPECT_GT(degraded.metrics.mean_total_delay(),
+            base.metrics.mean_total_delay());
+  EXPECT_GT(degraded.metrics.channel.losses, base.metrics.channel.losses);
+}
+
+TEST(Perturbation, PermanentBurstEqualsScaledLinks) {
+  // A burst covering every slot must behave like a uniformly degraded
+  // channel: strictly more losses than the clean run.
+  const auto topo = trace();
+  Perturbations constant;
+  constant.burst = LinkBurst{0.5, 0, 10, 10};  // always on.
+  const auto res = run(topo, constant, 5);
+  EXPECT_TRUE(res.metrics.all_covered);
+  const auto clean = run(topo, Perturbations{}, 5);
+  const double loss_rate_res =
+      static_cast<double>(res.metrics.channel.losses) /
+      static_cast<double>(res.metrics.channel.attempts);
+  const double loss_rate_clean =
+      static_cast<double>(clean.metrics.channel.losses) /
+      static_cast<double>(clean.metrics.channel.attempts);
+  EXPECT_GT(loss_rate_res, loss_rate_clean);
+}
+
+TEST(SyncMiss, ZeroProbabilityIsTheDefaultAndFree) {
+  const auto topo = trace();
+  SimConfig config;
+  config.num_packets = 5;
+  config.seed = 13;
+  const auto proto = protocols::make_protocol("dbao");
+  const auto res = run_simulation(topo, config, *proto);
+  EXPECT_EQ(res.metrics.channel.sync_misses, 0u);
+}
+
+TEST(SyncMiss, MissesAppearAndSlowTheFlood) {
+  const auto topo = trace();
+  const auto run_with = [&](double p) {
+    SimConfig config;
+    config.num_packets = 8;
+    config.duty = DutyCycle{10};
+    config.seed = 13;
+    config.sync_miss_prob = p;
+    config.max_slots = 2'000'000;
+    const auto proto = protocols::make_protocol("dbao");
+    return run_simulation(topo, config, *proto);
+  };
+  const auto clean = run_with(0.0);
+  const auto drifty = run_with(0.3);
+  ASSERT_TRUE(clean.metrics.all_covered);
+  ASSERT_TRUE(drifty.metrics.all_covered);
+  EXPECT_EQ(clean.metrics.channel.sync_misses, 0u);
+  EXPECT_GT(drifty.metrics.channel.sync_misses, 0u);
+  EXPECT_GT(drifty.metrics.mean_total_delay(),
+            clean.metrics.mean_total_delay());
+  // Misses count as transmission failures (they burn energy).
+  EXPECT_GT(drifty.metrics.channel.failures(),
+            clean.metrics.channel.failures());
+}
+
+TEST(SyncMiss, MissRateMatchesProbability) {
+  const auto topo = trace();
+  SimConfig config;
+  config.num_packets = 10;
+  config.duty = DutyCycle{10};
+  config.seed = 13;
+  config.sync_miss_prob = 0.2;
+  config.max_slots = 2'000'000;
+  const auto proto = protocols::make_protocol("opt");
+  const auto res = run_simulation(topo, config, *proto);
+  ASSERT_TRUE(res.metrics.all_covered);
+  const double rate = static_cast<double>(res.metrics.channel.sync_misses) /
+                      static_cast<double>(res.metrics.channel.attempts);
+  EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+class DeathSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeathSweep, RandomDeathsNeverWedgeTheEngine) {
+  const auto topo = trace();
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Perturbations perturb;
+  for (int i = 0; i < GetParam(); ++i) {
+    perturb.node_failures.push_back(NodeFailure{
+        static_cast<NodeId>(1 + rng.below(topo.num_nodes() - 1)),
+        rng.below(400)});
+  }
+  const auto res = run(topo, perturb, 5, 1.0);
+  // The run must terminate (possibly with clamped targets) without throwing
+  // and report a consistent ledger.
+  const auto& c = res.metrics.channel;
+  EXPECT_EQ(c.attempts,
+            c.delivered + c.losses + c.collisions + c.receiver_busy +
+                c.broadcasts + c.sync_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeathCounts, DeathSweep,
+                         ::testing::Values(1, 3, 7, 15));
+
+}  // namespace
+}  // namespace ldcf::sim

@@ -1,0 +1,110 @@
+#include "ldcf/theory/fwl.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::theory {
+namespace {
+
+TEST(MOf, MatchesCeilLog2OfNPlusOne) {
+  EXPECT_EQ(m_of(1), 1u);    // ceil(log2(2)) = 1
+  EXPECT_EQ(m_of(3), 2u);    // ceil(log2(4)) = 2
+  EXPECT_EQ(m_of(4), 3u);    // ceil(log2(5)) = 3 (Fig. 3's 4-sensor example)
+  EXPECT_EQ(m_of(255), 8u);  // ceil(log2(256)) = 8
+  EXPECT_EQ(m_of(256), 9u);
+  EXPECT_EQ(m_of(1024), 11u);
+  EXPECT_EQ(m_of(298), 9u);  // GreenOrbs scale: ceil(log2(299)).
+}
+
+TEST(MOf, RejectsEmptyNetwork) { EXPECT_THROW(m_of(0), InvalidArgument); }
+
+TEST(ExpectedFwl, ReliableLinksReduceToCeilLog2) {
+  // mu = 2 (reliable links): Lemma 2 reduces to Eq. (6).
+  EXPECT_EQ(expected_fwl(1024, 2.0), m_of(1024));
+  EXPECT_EQ(expected_fwl(255, 2.0), m_of(255));
+  EXPECT_EQ(expected_fwl(298, 2.0), m_of(298));
+}
+
+TEST(ExpectedFwl, LossyLinksInflateWaitings) {
+  // Smaller mu -> strictly more waitings for the same N.
+  const std::uint64_t n = 1024;
+  std::uint64_t prev = expected_fwl(n, 2.0);
+  for (double mu : {1.8, 1.5, 1.3, 1.1, 1.01}) {
+    const std::uint64_t fwl = expected_fwl(n, mu);
+    EXPECT_GE(fwl, prev) << "mu=" << mu;
+    prev = fwl;
+  }
+  // mu -> 1 is unbounded (the paper notes FWL has no upper bound).
+  EXPECT_GT(expected_fwl(n, 1.001), 100u);
+}
+
+TEST(ExpectedFwl, MatchesClosedForm) {
+  for (double mu : {1.2, 1.5, 1.75, 2.0}) {
+    for (std::uint64_t n : {16ULL, 298ULL, 4096ULL}) {
+      const double expected =
+          std::ceil(std::log2(static_cast<double>(n) + 1.0) / std::log2(mu) -
+                    1e-12);
+      EXPECT_EQ(expected_fwl(n, mu), static_cast<std::uint64_t>(expected))
+          << "n=" << n << " mu=" << mu;
+    }
+  }
+}
+
+TEST(ExpectedFwl, RejectsOutOfRangeMu) {
+  EXPECT_THROW(expected_fwl(16, 1.0), InvalidArgument);
+  EXPECT_THROW(expected_fwl(16, 2.5), InvalidArgument);
+  EXPECT_THROW(expected_fwl(16, 0.5), InvalidArgument);
+}
+
+TEST(MultiPacketFwl, SinglePacketEqualsM) {
+  // FWL(1) = m + 2*1 - 2 = m: the single-packet limit of Eq. (6).
+  EXPECT_EQ(multi_packet_fwl(1024, 1), m_of(1024));
+  EXPECT_EQ(multi_packet_fwl(4, 1), m_of(4));
+}
+
+TEST(MultiPacketFwl, PiecewiseFormula) {
+  const std::uint64_t n = 1024;  // m = 11.
+  const std::uint64_t m = m_of(n);
+  // Below the knee: slope 2 per packet.
+  for (std::uint64_t big_m = 1; big_m < m; ++big_m) {
+    EXPECT_EQ(multi_packet_fwl(n, big_m), m + 2 * big_m - 2);
+  }
+  // At and above the knee: slope 1 per packet.
+  for (std::uint64_t big_m = m; big_m < m + 20; ++big_m) {
+    EXPECT_EQ(multi_packet_fwl(n, big_m), 2 * m + big_m - 2);
+  }
+}
+
+TEST(MultiPacketFwl, ContinuousAtKnee) {
+  for (std::uint64_t n : {16ULL, 298ULL, 1024ULL}) {
+    const std::uint64_t m = m_of(n);
+    // The two branches agree at M = m.
+    EXPECT_EQ(m + 2 * m - 2, 2 * m + m - 2);
+    EXPECT_EQ(multi_packet_fwl(n, m), 3 * m - 2);
+  }
+}
+
+TEST(ExpiredTime, GrowsLinearlyWithPacketIndex) {
+  const std::uint64_t n = 256;
+  const std::uint64_t m = m_of(n);
+  EXPECT_EQ(expired_time(n, 0), m);
+  EXPECT_EQ(expired_time(n, 5), 5 + m);
+  EXPECT_EQ(expired_time(n, 100), 100 + m);
+}
+
+class FwlSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FwlSweep, MonotoneInNetworkSize) {
+  const std::uint64_t n = GetParam();
+  EXPECT_LE(expected_fwl(n, 2.0), expected_fwl(2 * n, 2.0));
+  EXPECT_LE(multi_packet_fwl(n, 10), multi_packet_fwl(2 * n, 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(NetworkSizes, FwlSweep,
+                         ::testing::Values(1, 2, 7, 16, 100, 298, 1024, 65535));
+
+}  // namespace
+}  // namespace ldcf::theory

@@ -1,0 +1,150 @@
+#include "ldcf/theory/galton_watson.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/theory/fwl.hpp"
+
+namespace ldcf::theory {
+namespace {
+
+TEST(GwSimulate, ReliableLinksDoubleEachSlot) {
+  // q = 1: X(c+1) = 2 X(c) until the cap, so coverage takes exactly
+  // ceil(log2(1+N)) slots.
+  Rng rng(1);
+  for (std::uint64_t n : {1ULL, 4ULL, 255ULL, 256ULL, 1023ULL, 1024ULL}) {
+    const GwRun run = simulate_dissemination(GwParams{n, 1.0}, rng);
+    EXPECT_EQ(run.cover_slots, m_of(n)) << "n=" << n;
+    // Trajectory doubles: 1, 2, 4, ... capped at 1+N.
+    for (std::size_t c = 0; c + 1 < run.counts.size(); ++c) {
+      const std::uint64_t expected =
+          std::min<std::uint64_t>(run.counts[c] * 2, n + 1);
+      EXPECT_EQ(run.counts[c + 1], expected);
+    }
+  }
+}
+
+TEST(GwSimulate, TrajectoryIsMonotone) {
+  Rng rng(7);
+  const GwRun run = simulate_dissemination(GwParams{512, 0.6}, rng);
+  ASSERT_GE(run.counts.size(), 2u);
+  EXPECT_EQ(run.counts.front(), 1u);
+  EXPECT_EQ(run.counts.back(), 513u);
+  for (std::size_t c = 0; c + 1 < run.counts.size(); ++c) {
+    EXPECT_LE(run.counts[c], run.counts[c + 1]);
+    // At most doubling per slot (each holder recruits at most one).
+    EXPECT_LE(run.counts[c + 1], 2 * run.counts[c]);
+  }
+}
+
+TEST(GwSimulate, RejectsBadParams) {
+  Rng rng(3);
+  EXPECT_THROW(simulate_dissemination(GwParams{0, 1.0}, rng), InvalidArgument);
+  EXPECT_THROW(simulate_dissemination(GwParams{8, 0.0}, rng), InvalidArgument);
+  EXPECT_THROW(simulate_dissemination(GwParams{8, 1.5}, rng), InvalidArgument);
+}
+
+TEST(GwEstimate, Lemma2PredictsMeanCrossing) {
+  // Lemma 2's object: the slot at which the unbounded process crosses 1+N.
+  // E[FWL] = ceil(log2(1+N)/log2(mu)) within Monte-Carlo noise.
+  for (double q : {1.0, 0.8, 0.5, 0.3}) {
+    const GwParams params{4096, q};
+    const GwStats stats = estimate_crossing_slots(params, 400, 12345);
+    const auto predicted =
+        static_cast<double>(expected_fwl(params.num_sensors, gw_mu(params)));
+    EXPECT_NEAR(stats.mean_cover_slots, predicted, 0.10 * predicted + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(GwEstimate, FiniteCoverageAddsSaturationTail) {
+  // Full coverage of a finite network = supercritical crossing + a tail in
+  // which the uncovered remainder decays by (1-q) per slot.
+  for (double q : {0.8, 0.5}) {
+    const GwParams params{4096, q};
+    const GwStats stats = estimate_cover_slots(params, 400, 777);
+    const auto crossing =
+        static_cast<double>(expected_fwl(params.num_sensors, gw_mu(params)));
+    const double tail = saturation_tail_slots(params);
+    EXPECT_GE(stats.mean_cover_slots, crossing - 1.0) << "q=" << q;
+    EXPECT_LE(stats.mean_cover_slots, crossing + tail + 3.0) << "q=" << q;
+  }
+  // With reliable links there is no tail at all.
+  EXPECT_DOUBLE_EQ(saturation_tail_slots(GwParams{4096, 1.0}), 0.0);
+}
+
+TEST(GwEstimate, LossSlowsCoverage) {
+  const GwStats fast = estimate_cover_slots(GwParams{2048, 1.0}, 200, 99);
+  const GwStats slow = estimate_cover_slots(GwParams{2048, 0.3}, 200, 99);
+  EXPECT_GT(slow.mean_cover_slots, fast.mean_cover_slots);
+  EXPECT_LE(fast.min_cover_slots, fast.max_cover_slots);
+}
+
+TEST(GwEstimate, DeterministicForSeed) {
+  const GwStats a = estimate_cover_slots(GwParams{512, 0.7}, 100, 42);
+  const GwStats b = estimate_cover_slots(GwParams{512, 0.7}, 100, 42);
+  EXPECT_DOUBLE_EQ(a.mean_cover_slots, b.mean_cover_slots);
+  EXPECT_EQ(a.min_cover_slots, b.min_cover_slots);
+  EXPECT_EQ(a.max_cover_slots, b.max_cover_slots);
+}
+
+TEST(GwNormalizedLimit, Lemma1MeanIsOne) {
+  // X(c)/mu^c should have mean ~1 (Lemma 1, E[X] = 1).
+  for (double q : {0.5, 0.8}) {
+    const auto samples = sample_normalized_limit(q, 14, 4000, 777);
+    const double mean =
+        std::accumulate(samples.begin(), samples.end(), 0.0) /
+        static_cast<double>(samples.size());
+    EXPECT_NEAR(mean, 1.0, 0.05) << "q=" << q;
+  }
+}
+
+TEST(GwNormalizedLimit, Lemma1VarianceMatches) {
+  // Var[X] = sigma^2 / (mu^2 - mu) with offspring variance
+  // sigma^2 = q(1-q) for the Bernoulli(+1) recruitment.
+  const double q = 0.5;
+  const double mu = 1.0 + q;
+  const double sigma_sq = q * (1.0 - q);
+  const double predicted_var = sigma_sq / (mu * mu - mu);
+  const auto samples = sample_normalized_limit(q, 18, 8000, 4242);
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double s : samples) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(samples.size());
+  EXPECT_NEAR(var, predicted_var, 0.15 * predicted_var + 0.01);
+}
+
+TEST(GwNormalizedLimit, ConcentratesByChebyshev) {
+  // The paper uses Chebyshev to argue X is rarely far above 1; check the
+  // empirical tail at alpha = 3.
+  const double q = 0.8;
+  const double mu = 1.0 + q;
+  const double sigma_sq = q * (1.0 - q);
+  const double bound = sigma_sq / (4.0 * (mu * mu - mu));  // alpha = 3.
+  const auto samples = sample_normalized_limit(q, 16, 8000, 31337);
+  std::size_t above = 0;
+  for (double s : samples) {
+    if (s > 3.0) ++above;
+  }
+  EXPECT_LE(static_cast<double>(above) / static_cast<double>(samples.size()),
+            bound + 0.01);
+}
+
+class GwQSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GwQSweep, CoverageAtLeastReliableLimit) {
+  const double q = GetParam();
+  const GwStats stats = estimate_cover_slots(GwParams{1024, q}, 50, 5);
+  EXPECT_GE(stats.min_cover_slots, m_of(1024));
+}
+
+INSTANTIATE_TEST_SUITE_P(SuccessProbabilities, GwQSweep,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 1.0));
+
+}  // namespace
+}  // namespace ldcf::theory

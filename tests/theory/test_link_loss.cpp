@@ -1,0 +1,152 @@
+#include "ldcf/theory/link_loss.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::theory {
+namespace {
+
+TEST(KClass, PaperLegendValues) {
+  // Fig. 7 legend: quality 80/70/60/50% <-> k = 1.25/1.42/1.67/2.
+  EXPECT_NEAR(k_class_of_quality(0.80), 1.25, 1e-12);
+  EXPECT_NEAR(k_class_of_quality(0.70), 1.4286, 1e-3);
+  EXPECT_NEAR(k_class_of_quality(0.60), 1.6667, 1e-3);
+  EXPECT_NEAR(k_class_of_quality(0.50), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(k_class_of_quality(1.0), 1.0);
+}
+
+TEST(KClass, RejectsInvalidQuality) {
+  EXPECT_THROW((void)k_class_of_quality(0.0), InvalidArgument);
+  EXPECT_THROW((void)k_class_of_quality(1.5), InvalidArgument);
+  EXPECT_THROW((void)k_class_of_quality(-0.2), InvalidArgument);
+}
+
+TEST(GrowthRate, SatisfiesCharacteristicEquation) {
+  for (double k : {1.0, 1.25, 1.42, 1.67, 2.0}) {
+    for (std::uint32_t t : {1u, 5u, 10u, 20u, 50u}) {
+      const double lambda = growth_rate(k, t);
+      const double d = k * t;
+      EXPECT_NEAR(std::pow(lambda, d + 1.0),
+                  std::pow(lambda, d) + 1.0, 1e-8)
+          << "k=" << k << " T=" << t;
+      EXPECT_GT(lambda, 1.0);
+      EXPECT_LE(lambda, 2.0);
+    }
+  }
+}
+
+TEST(GrowthRate, ShrinksWithPeriodAndLoss) {
+  // Longer periods and lossier links both slow the exponential growth.
+  EXPECT_GT(growth_rate(1.0, 5), growth_rate(1.0, 20));
+  EXPECT_GT(growth_rate(1.0, 20), growth_rate(2.0, 20));
+  EXPECT_GT(growth_rate(1.25, 10), growth_rate(1.67, 10));
+}
+
+TEST(GrowthRate, PerfectInstantNetworkDoubles) {
+  // d = kT -> 0 degenerates to doubling per slot; with T >= 1 the rate is
+  // strictly below 2 but approaches it as T -> 1, k -> 1.
+  const double lambda = growth_rate(1.0, 1);
+  EXPECT_GT(lambda, 1.6);
+  EXPECT_LT(lambda, 2.0);
+}
+
+TEST(PredictedDelay, GrowsAsDutyShrinks) {
+  // Fig. 7's x-axis behaviour: smaller duty cycle (larger T) -> more delay.
+  const std::uint64_t n = 298;
+  double prev = 0.0;
+  for (std::uint32_t t : {5u, 10u, 14u, 20u, 25u, 33u, 50u}) {
+    const double d = predicted_flooding_delay(n, 1.25, DutyCycle{t});
+    EXPECT_GT(d, prev) << "T=" << t;
+    prev = d;
+  }
+}
+
+TEST(PredictedDelay, LossMagnifiesDutyCyclePenalty) {
+  // The paper's core §IV-B message: the delay gap between k-classes widens
+  // as the duty cycle shrinks (the curves fan out in Fig. 7).
+  const std::uint64_t n = 298;
+  const double gap_high_duty =
+      predicted_flooding_delay(n, 2.0, DutyCycle{5}) -
+      predicted_flooding_delay(n, 1.25, DutyCycle{5});
+  const double gap_low_duty =
+      predicted_flooding_delay(n, 2.0, DutyCycle{50}) -
+      predicted_flooding_delay(n, 1.25, DutyCycle{50});
+  EXPECT_GT(gap_high_duty, 0.0);
+  EXPECT_GT(gap_low_duty, 2.0 * gap_high_duty);
+}
+
+TEST(PredictedDelay, CoverageVariantIsSmaller) {
+  const std::uint64_t n = 298;
+  const DutyCycle duty{20};
+  EXPECT_LT(predicted_coverage_delay(n, 0.99, 1.25, duty),
+            predicted_flooding_delay(n, 1.25, duty));
+  EXPECT_DOUBLE_EQ(predicted_coverage_delay(n, 1.0, 1.25, duty),
+                   predicted_flooding_delay(n, 1.25, duty));
+}
+
+TEST(PredictedDelay, InvalidArgumentsRejected) {
+  EXPECT_THROW((void)predicted_coverage_delay(0, 0.99, 1.25, DutyCycle{5}),
+               InvalidArgument);
+  EXPECT_THROW((void)predicted_coverage_delay(10, 0.0, 1.25, DutyCycle{5}),
+               InvalidArgument);
+  EXPECT_THROW((void)growth_rate(0.5, 5), InvalidArgument);
+  EXPECT_THROW((void)growth_rate(1.0, 0), InvalidArgument);
+}
+
+TEST(LossDelaySweep, ProducesFullGrid) {
+  const std::vector<double> ks{1.25, 2.0};
+  const std::vector<std::uint32_t> periods{5, 10, 20};
+  const auto pts = loss_delay_sweep(298, ks, periods);
+  ASSERT_EQ(pts.size(), 6u);
+  // Rows are ordered k-major, duty descending within k (period ascending).
+  EXPECT_DOUBLE_EQ(pts[0].k, 1.25);
+  EXPECT_DOUBLE_EQ(pts[0].duty_ratio, 0.2);
+  EXPECT_DOUBLE_EQ(pts[5].k, 2.0);
+  EXPECT_DOUBLE_EQ(pts[5].duty_ratio, 0.05);
+  for (const auto& p : pts) EXPECT_GT(p.delay_slots, 0.0);
+}
+
+TEST(RecursionCoverage, TracksEigenvaluePrediction) {
+  // The deterministic recursion and the eigenvalue closed form must agree
+  // within a small constant factor (same exponential rate).
+  const std::uint64_t n = 298;
+  for (double k : {1.0, 1.25, 2.0}) {
+    for (std::uint32_t t : {5u, 20u}) {
+      const auto rec = static_cast<double>(
+          recursion_coverage_slots(n, 1.0, k, DutyCycle{t}));
+      const double eig = predicted_flooding_delay(n, k, DutyCycle{t});
+      EXPECT_GT(rec, 0.5 * eig) << "k=" << k << " T=" << t;
+      EXPECT_LT(rec, 2.0 * eig + 2.0 * k * t) << "k=" << k << " T=" << t;
+    }
+  }
+}
+
+TEST(RecursionCoverage, MonotoneInCoverage) {
+  const std::uint64_t n = 298;
+  const DutyCycle duty{20};
+  EXPECT_LE(recursion_coverage_slots(n, 0.5, 1.25, duty),
+            recursion_coverage_slots(n, 0.99, 1.25, duty));
+  EXPECT_LE(recursion_coverage_slots(n, 0.99, 1.25, duty),
+            recursion_coverage_slots(n, 1.0, 1.25, duty));
+}
+
+class LinkLossGrid
+    : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {};
+
+TEST_P(LinkLossGrid, DelayFiniteAndPositive) {
+  const auto [k, t] = GetParam();
+  const double d = predicted_flooding_delay(298, k, DutyCycle{t});
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1e7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, LinkLossGrid,
+    ::testing::Combine(::testing::Values(1.0, 1.25, 1.42, 1.67, 2.0),
+                       ::testing::Values(5u, 10u, 14u, 20u, 25u, 33u, 50u)));
+
+}  // namespace
+}  // namespace ldcf::theory

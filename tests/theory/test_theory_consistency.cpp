@@ -1,0 +1,125 @@
+// Cross-module consistency of the §IV results: relations between Lemma 2,
+// Lemma 3, Theorems 1-2 and the link-loss model that must hold identically,
+// checked over parameter grids.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ldcf/theory/compact_flooding.hpp"
+#include "ldcf/theory/fdl.hpp"
+#include "ldcf/theory/fwl.hpp"
+#include "ldcf/theory/link_loss.hpp"
+
+namespace ldcf::theory {
+namespace {
+
+class Grid : public ::testing::TestWithParam<
+                 std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>> {};
+
+TEST_P(Grid, ExpectedFdlIsHalfPeriodTimesFwl) {
+  // The proof of Theorem 1: E[FDL] = T * FWL / 2 with uniform waits.
+  const auto [n, m_pkts, period] = GetParam();
+  const DutyCycle duty{period};
+  EXPECT_NEAR(expected_fdl(n, m_pkts, duty),
+              0.5 * static_cast<double>(period) *
+                  static_cast<double>(multi_packet_fwl(n, m_pkts)),
+              1e-9);
+}
+
+TEST_P(Grid, MaxFdlIsPeriodTimesFwl) {
+  const auto [n, m_pkts, period] = GetParam();
+  const DutyCycle duty{period};
+  EXPECT_NEAR(max_fdl(n, m_pkts, duty),
+              static_cast<double>(period) *
+                  static_cast<double>(multi_packet_fwl(n, m_pkts)),
+              1e-9);
+}
+
+TEST_P(Grid, Theorem2LowerEqualsTheorem1) {
+  const auto [n, m_pkts, period] = GetParam();
+  const DutyCycle duty{period};
+  const auto bounds = expected_fdl_bounds(n, m_pkts, duty);
+  EXPECT_DOUBLE_EQ(bounds.lower, expected_fdl(n, m_pkts, duty));
+  EXPECT_LE(bounds.upper, max_fdl(n, m_pkts, duty) +
+            static_cast<double>(period) * static_cast<double>(m_of(n)));
+}
+
+TEST_P(Grid, DelayPerPeriodIsScaleFree) {
+  // T is purely multiplicative in Theorem 1: FDL/T depends only on (N, M).
+  const auto [n, m_pkts, period] = GetParam();
+  const double normalized =
+      expected_fdl(n, m_pkts, DutyCycle{period}) / period;
+  const double at_unit = expected_fdl(n, m_pkts, DutyCycle{1});
+  EXPECT_NEAR(normalized, at_unit, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Grid,
+    ::testing::Combine(::testing::Values(16ULL, 298ULL, 4096ULL),
+                       ::testing::Values(1ULL, 7ULL, 40ULL),
+                       ::testing::Values(1u, 5u, 20u, 50u)));
+
+TEST(Consistency, Lemma2ReliableEqualsAlgorithm1SinglePacket) {
+  // The GW limit with mu = 2 (reliable links) must equal the compact-slot
+  // coverage of an exact Algorithm 1 single-packet run.
+  for (const std::uint64_t n : {2ULL, 16ULL, 128ULL, 1024ULL}) {
+    const auto run = run_compact_flooding(CompactRunConfig{n, 1, false});
+    EXPECT_EQ(run.completion[0], expected_fwl(n, 2.0)) << "n=" << n;
+  }
+}
+
+TEST(Consistency, CharacteristicEquationInvariant) {
+  // lambda^(T+1) = lambda^T + 1 rearranges to lambda^T (lambda - 1) = 1:
+  // the per-period growth factor times the per-slot excess rate is exactly
+  // one. (Per-period growth exceeds 2 for large T — staggered wakeups
+  // pipeline deliveries within a period — while lambda itself stays in
+  // (1, 2].)
+  double prev_lambda = 2.5;
+  double prev_per_period = 0.0;
+  for (const std::uint32_t t : {1u, 2u, 5u, 20u, 50u}) {
+    const double lambda = growth_rate(1.0, t);
+    const double per_period = std::pow(lambda, t);
+    EXPECT_NEAR(per_period * (lambda - 1.0), 1.0, 1e-6) << "T=" << t;
+    EXPECT_LT(lambda, prev_lambda) << "T=" << t;       // rate per slot falls,
+    EXPECT_GT(per_period, prev_per_period) << "T=" << t;  // per period rises.
+    prev_lambda = lambda;
+    prev_per_period = per_period;
+  }
+}
+
+TEST(Consistency, LossyCoverTimeDominatesReliableCoverTime) {
+  for (const std::uint32_t t : {5u, 20u, 50u}) {
+    const DutyCycle duty{t};
+    double prev = predicted_flooding_delay(298, 1.0, duty);
+    for (const double k : {1.25, 1.67, 2.0, 3.0}) {
+      const double d = predicted_flooding_delay(298, k, duty);
+      EXPECT_GT(d, prev) << "k=" << k << " T=" << t;
+      prev = d;
+    }
+  }
+}
+
+TEST(Consistency, EigenvalueDelayScalesLikeKTimesT) {
+  // lambda - 1 ~ ln(2)/(kT) for large kT, so the predicted delay grows
+  // ~ linearly in k*T; check the ratio stays within 25% when kT doubles.
+  const double d1 = predicted_flooding_delay(298, 1.0, DutyCycle{20});
+  const double d2 = predicted_flooding_delay(298, 2.0, DutyCycle{20});
+  const double d3 = predicted_flooding_delay(298, 1.0, DutyCycle{40});
+  EXPECT_NEAR(d2 / d1, 2.0, 0.5);
+  EXPECT_NEAR(d3 / d1, 2.0, 0.5);
+  EXPECT_NEAR(d2, d3, 0.15 * d2);  // k and T enter symmetrically via kT.
+}
+
+TEST(Consistency, ExpiredTimeCoversObservedCompletion) {
+  // expired_time is exactly the Lemma 3 per-packet completion bound.
+  for (const std::uint64_t n : {4ULL, 64ULL}) {
+    const std::uint64_t m_pkts = 3 * m_of(n);
+    const auto run = run_compact_flooding(CompactRunConfig{n, m_pkts, false});
+    for (PacketId p = 0; p < m_pkts; ++p) {
+      EXPECT_EQ(expired_time(n, p), run.completion[p]) << "p=" << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldcf::theory

@@ -1,0 +1,144 @@
+#include "ldcf/topology/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::topology {
+namespace {
+
+TEST(Generators, GreenOrbsLikeMatchesPaperScale) {
+  const Topology topo = make_greenorbs_like(1);
+  EXPECT_EQ(topo.num_sensors(), 298u);  // the paper's trace size.
+  EXPECT_EQ(topo.num_nodes(), 299u);
+  // Multi-hop, not single-hop: the paper's deployment is a wide forest.
+  EXPECT_GE(topo.eccentricity_from_source(), 3u);
+  // Source reaches essentially everyone (99% rule).
+  EXPECT_GE(topo.reachable_count(0), 296u);
+}
+
+TEST(Generators, GreenOrbsLikeIsDeterministicPerSeed) {
+  const Topology a = make_greenorbs_like(7);
+  const Topology b = make_greenorbs_like(7);
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_EQ(a.position(n), b.position(n));
+    const auto na = a.neighbors(n);
+    const auto nb = b.neighbors(n);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].to, nb[i].to);
+      EXPECT_DOUBLE_EQ(na[i].prr, nb[i].prr);
+    }
+  }
+}
+
+TEST(Generators, DifferentSeedsProduceDifferentTopologies) {
+  const Topology a = make_greenorbs_like(1);
+  const Topology b = make_greenorbs_like(2);
+  bool any_diff = a.num_links() != b.num_links();
+  for (NodeId n = 0; !any_diff && n < a.num_nodes(); ++n) {
+    any_diff = !(a.position(n) == b.position(n));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, GreenOrbsLikeHasHeterogeneousLinkQuality) {
+  // The paper's analysis needs a broad PRR mix: some near-perfect links,
+  // some lossy ones.
+  const Topology topo = make_greenorbs_like(3);
+  std::size_t good = 0;
+  std::size_t poor = 0;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    for (const Link& l : topo.neighbors(n)) {
+      ASSERT_GT(l.prr, 0.0);
+      ASSERT_LE(l.prr, 1.0);
+      if (l.prr > 0.9) ++good;
+      if (l.prr < 0.5) ++poor;
+    }
+  }
+  EXPECT_GT(good, 50u);
+  EXPECT_GT(poor, 50u);
+}
+
+TEST(Generators, UniformHasRequestedSize) {
+  GeneratorConfig config;
+  config.num_sensors = 60;
+  config.area_side_m = 150.0;
+  config.seed = 5;
+  const Topology topo = make_uniform(config);
+  EXPECT_EQ(topo.num_sensors(), 60u);
+  EXPECT_GT(topo.mean_degree(), 1.0);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_GE(topo.position(n).x, 0.0);
+    EXPECT_LE(topo.position(n).x, config.area_side_m);
+    EXPECT_GE(topo.position(n).y, 0.0);
+    EXPECT_LE(topo.position(n).y, config.area_side_m);
+  }
+}
+
+TEST(Generators, GridIsRegular) {
+  GeneratorConfig config;
+  config.num_sensors = 24;  // 25 nodes -> 5x5 grid.
+  config.area_side_m = 200.0;
+  const Topology topo = make_grid(config);
+  EXPECT_EQ(topo.num_nodes(), 25u);
+  // First row positions are evenly spaced.
+  const double dx = topo.position(1).x - topo.position(0).x;
+  EXPECT_NEAR(dx, 40.0, 1e-9);
+  EXPECT_DOUBLE_EQ(topo.position(0).y, topo.position(4).y);
+}
+
+TEST(Generators, ConnectivityRequirementEnforced) {
+  GeneratorConfig config;
+  config.num_sensors = 40;
+  config.area_side_m = 100000.0;  // hopeless: nodes far beyond radio range.
+  config.require_connectivity = true;
+  EXPECT_THROW((void)make_uniform(config), InvalidArgument);
+  config.require_connectivity = false;
+  const Topology topo = make_uniform(config);  // allowed to be disconnected.
+  EXPECT_EQ(topo.num_sensors(), 40u);
+}
+
+TEST(Generators, CompleteTopologyIsComplete) {
+  const Topology topo = make_complete(10, 0.7);
+  EXPECT_EQ(topo.num_nodes(), 11u);
+  EXPECT_EQ(topo.num_links(), 11u * 10u);
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      if (a == b) continue;
+      ASSERT_TRUE(topo.has_link(a, b));
+      EXPECT_DOUBLE_EQ(topo.prr(a, b).value(), 0.7);
+    }
+  }
+  EXPECT_THROW((void)make_complete(0, 0.7), InvalidArgument);
+  EXPECT_THROW((void)make_complete(5, 0.0), InvalidArgument);
+}
+
+TEST(Generators, ClusteredPlacementStaysInArea) {
+  ClusterConfig config;
+  config.base.num_sensors = 80;
+  config.base.seed = 9;
+  const Topology topo = make_clustered(config);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_GE(topo.position(n).x, 0.0);
+    EXPECT_LE(topo.position(n).x, config.base.area_side_m);
+  }
+}
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, GreenOrbsLikeAlwaysViable) {
+  const Topology topo = make_greenorbs_like(GetParam());
+  EXPECT_EQ(topo.num_sensors(), 298u);
+  EXPECT_GE(static_cast<double>(topo.reachable_count(0)),
+            0.99 * static_cast<double>(topo.num_nodes()));
+  EXPECT_GT(topo.mean_degree(), 4.0);   // dense enough to flood.
+  EXPECT_LT(topo.mean_degree(), 120.0); // but clearly multi-hop.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+}  // namespace
+}  // namespace ldcf::topology

@@ -1,0 +1,111 @@
+#include "ldcf/topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::topology {
+namespace {
+
+Topology line_of(std::size_t n, double prr = 1.0) {
+  Topology topo{std::vector<Point2D>(n)};
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    topo.add_symmetric_link(i, i + 1, prr);
+  }
+  return topo;
+}
+
+TEST(Topology, CountsNodesAndSensors) {
+  const Topology topo(std::vector<Point2D>(5));
+  EXPECT_EQ(topo.num_nodes(), 5u);
+  EXPECT_EQ(topo.num_sensors(), 4u);
+  EXPECT_EQ(topo.num_links(), 0u);
+}
+
+TEST(Topology, RejectsEmpty) {
+  EXPECT_THROW(Topology(std::vector<Point2D>{}), InvalidArgument);
+}
+
+TEST(Topology, AddLinkValidation) {
+  Topology topo(std::vector<Point2D>(3));
+  topo.add_link(0, 1, 0.5);
+  EXPECT_THROW(topo.add_link(0, 1, 0.5), InvalidArgument);  // duplicate.
+  EXPECT_THROW(topo.add_link(0, 0, 0.5), InvalidArgument);  // self loop.
+  EXPECT_THROW(topo.add_link(0, 3, 0.5), InvalidArgument);  // out of range.
+  EXPECT_THROW(topo.add_link(1, 2, 0.0), InvalidArgument);  // bad prr.
+  EXPECT_THROW(topo.add_link(1, 2, 1.5), InvalidArgument);
+}
+
+TEST(Topology, DirectedLinksAreIndependent) {
+  Topology topo(std::vector<Point2D>(3));
+  topo.add_link(0, 1, 0.9);
+  topo.add_link(1, 0, 0.4);
+  EXPECT_DOUBLE_EQ(topo.prr(0, 1).value(), 0.9);
+  EXPECT_DOUBLE_EQ(topo.prr(1, 0).value(), 0.4);
+  EXPECT_FALSE(topo.prr(0, 2).has_value());
+  EXPECT_TRUE(topo.has_link(0, 1));
+  EXPECT_FALSE(topo.has_link(2, 0));
+}
+
+TEST(Topology, NeighborsSortedById) {
+  Topology topo(std::vector<Point2D>(5));
+  topo.add_link(0, 4, 0.5);
+  topo.add_link(0, 2, 0.6);
+  topo.add_link(0, 3, 0.7);
+  const auto nbrs = topo.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].to, 2u);
+  EXPECT_EQ(nbrs[1].to, 3u);
+  EXPECT_EQ(nbrs[2].to, 4u);
+}
+
+TEST(Topology, MeanDegreeAndPrr) {
+  Topology topo(std::vector<Point2D>(4));
+  topo.add_symmetric_link(0, 1, 0.5);
+  topo.add_symmetric_link(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(topo.mean_degree(), 1.0);  // 4 directed links / 4 nodes.
+  EXPECT_DOUBLE_EQ(topo.mean_prr(), 0.75);
+}
+
+TEST(Topology, HopDistancesOnALine) {
+  const Topology topo = line_of(5);
+  const auto dist = topo.hop_distances(0);
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(dist[i], i);
+  }
+  EXPECT_EQ(topo.eccentricity_from_source(), 4u);
+}
+
+TEST(Topology, DisconnectedComponentDetected) {
+  Topology topo(std::vector<Point2D>(4));
+  topo.add_symmetric_link(0, 1, 1.0);
+  topo.add_symmetric_link(2, 3, 1.0);
+  EXPECT_FALSE(topo.connected_from_source());
+  EXPECT_EQ(topo.reachable_count(0), 2u);
+  const auto dist = topo.hop_distances(0);
+  EXPECT_EQ(dist[2], kNeverSlot);
+  EXPECT_EQ(dist[3], kNeverSlot);
+}
+
+TEST(Topology, ConnectedFromSource) {
+  EXPECT_TRUE(line_of(10).connected_from_source());
+}
+
+TEST(Topology, PositionAccess) {
+  Topology topo(std::vector<Point2D>{{0, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(topo.position(1).x, 3.0);
+  EXPECT_DOUBLE_EQ(distance(topo.position(0), topo.position(1)), 5.0);
+  EXPECT_THROW((void)topo.position(2), InvalidArgument);
+}
+
+TEST(Topology, HopDistanceRespectsDirectedness) {
+  Topology topo(std::vector<Point2D>(3));
+  topo.add_link(0, 1, 1.0);
+  topo.add_link(1, 2, 1.0);
+  // No reverse links: node 2 cannot reach 0.
+  EXPECT_EQ(topo.hop_distances(0)[2], 2u);
+  EXPECT_EQ(topo.hop_distances(2)[0], kNeverSlot);
+}
+
+}  // namespace
+}  // namespace ldcf::topology

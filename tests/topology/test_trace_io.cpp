@@ -1,0 +1,144 @@
+#include "ldcf/topology/trace_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace ldcf::topology {
+namespace {
+
+void expect_same(const Topology& a, const Topology& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_NEAR(a.position(n).x, b.position(n).x, 1e-4);
+    EXPECT_NEAR(a.position(n).y, b.position(n).y, 1e-4);
+    const auto na = a.neighbors(n);
+    const auto nb = b.neighbors(n);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].to, nb[i].to);
+      EXPECT_NEAR(na[i].prr, nb[i].prr, 1e-4);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripsSmallTopology) {
+  Topology topo(std::vector<Point2D>{{0, 0}, {10, 0}, {10, 10}});
+  topo.add_symmetric_link(0, 1, 0.8);
+  topo.add_link(1, 2, 0.33);
+  std::stringstream stream;
+  write_trace(topo, stream);
+  const Topology loaded = read_trace(stream);
+  expect_same(topo, loaded);
+}
+
+TEST(TraceIo, RoundTripsGreenOrbsLike) {
+  const Topology topo = make_greenorbs_like(4);
+  std::stringstream stream;
+  write_trace(topo, stream);
+  const Topology loaded = read_trace(stream);
+  expect_same(topo, loaded);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ldcf_trace_test.csv";
+  const Topology topo = make_greenorbs_like(6);
+  write_trace_file(topo, path);
+  const Topology loaded = read_trace_file(path);
+  expect_same(topo, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream stream("node,0,0,0\n");
+  EXPECT_THROW((void)read_trace(stream), InvalidArgument);
+}
+
+TEST(TraceIo, RejectsUnknownRecord) {
+  std::stringstream stream("# ldcf-trace v1\nfrobnicate,1,2,3\n");
+  EXPECT_THROW((void)read_trace(stream), InvalidArgument);
+}
+
+TEST(TraceIo, RejectsNonDenseNodeIds) {
+  std::stringstream stream("# ldcf-trace v1\nnode,0,0,0\nnode,2,1,1\n");
+  EXPECT_THROW((void)read_trace(stream), InvalidArgument);
+}
+
+TEST(TraceIo, RejectsNodeAfterLink) {
+  std::stringstream stream(
+      "# ldcf-trace v1\nnode,0,0,0\nnode,1,1,1\nlink,0,1,0.5\nnode,2,2,2\n");
+  EXPECT_THROW((void)read_trace(stream), InvalidArgument);
+}
+
+TEST(TraceIo, RejectsInvalidLink) {
+  std::stringstream stream(
+      "# ldcf-trace v1\nnode,0,0,0\nnode,1,1,1\nlink,0,1,1.5\n");
+  EXPECT_THROW((void)read_trace(stream), InvalidArgument);
+}
+
+TEST(TraceIo, RejectsEmptyTrace) {
+  std::stringstream stream("# ldcf-trace v1\n");
+  EXPECT_THROW((void)read_trace(stream), InvalidArgument);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::stringstream stream(
+      "# ldcf-trace v1\n# a comment\n\nnode,0,0,0\nnode,1,3,4\n\n"
+      "# more\nlink,0,1,0.5\n");
+  const Topology topo = read_trace(stream);
+  EXPECT_EQ(topo.num_nodes(), 2u);
+  EXPECT_DOUBLE_EQ(topo.prr(0, 1).value(), 0.5);
+}
+
+TEST(TraceIo, DotExportContainsNodesAndEdges) {
+  Topology topo(std::vector<Point2D>{{0, 0}, {10, 20}, {30, 40}});
+  topo.add_symmetric_link(0, 1, 0.9);
+  topo.add_link(1, 2, 0.3);
+  std::stringstream stream;
+  write_dot(topo, stream);
+  const std::string dot = stream.str();
+  EXPECT_NE(dot.find("graph ldcf_trace"), std::string::npos);
+  EXPECT_NE(dot.find("1 [pos=\"10,20!\"]"), std::string::npos);
+  // Each unordered pair appears exactly once.
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_EQ(dot.find("1 -- 0"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+  // Better links get darker (smaller gray index).
+  const auto strong = dot.find("0 -- 1 [color=gray");
+  const auto weak = dot.find("1 -- 2 [color=gray");
+  ASSERT_NE(strong, std::string::npos);
+  ASSERT_NE(weak, std::string::npos);
+  const int strong_gray = std::stoi(dot.substr(strong + 18, 2));
+  const int weak_gray = std::stoi(dot.substr(weak + 18, 2));
+  EXPECT_LT(strong_gray, weak_gray);
+}
+
+TEST(TraceIo, DotFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ldcf_dot_test.dot";
+  write_dot_file(make_greenorbs_like(2), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "graph ldcf_trace {");
+  std::remove(path.c_str());
+  EXPECT_THROW(write_dot_file(make_greenorbs_like(2), "/nonexistent/x.dot"),
+               InvalidArgument);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace_file("/nonexistent/path/trace.csv"),
+               InvalidArgument);
+  const Topology topo(std::vector<Point2D>(1));
+  EXPECT_THROW(write_trace_file(topo, "/nonexistent/path/trace.csv"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ldcf::topology
