@@ -47,6 +47,17 @@ inline std::uint32_t repetitions() {
   return 3;
 }
 
+/// Worker-thread override: LDCF_BENCH_THREADS=1 forces the serial path,
+/// default 0 = one worker per hardware thread. Results are bit-identical
+/// either way (see src/ldcf/analysis/parallel.hpp).
+inline std::uint32_t threads() {
+  if (const char* env = std::getenv("LDCF_BENCH_THREADS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 0) return static_cast<std::uint32_t>(value);
+  }
+  return 0;
+}
+
 inline sim::SimConfig paper_config() {
   sim::SimConfig config;
   config.duty = DutyCycle::from_ratio(kPaperDuty);

@@ -7,6 +7,7 @@
 // exponentially — so an extremely low duty cycle is not always beneficial.
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "ldcf/analysis/experiment.hpp"
@@ -20,6 +21,7 @@ int main() {
   analysis::ExperimentConfig config;
   config.base = bench::paper_config();
   config.repetitions = bench::repetitions();
+  config.threads = bench::threads();
 
   std::cout << "=== Fig. 11: transmission failures vs duty cycle (M = "
             << config.base.num_packets << ") ===\n";
@@ -34,19 +36,24 @@ int main() {
     }
   };
   Range of_range, dbao_range, opt_range;
-  for (const double pct : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0,
-                           20.0}) {
-    const DutyCycle duty = DutyCycle::from_ratio(pct / 100.0);
-    const auto of = analysis::run_point(topo, "of", duty, config);
-    const auto dbao = analysis::run_point(topo, "dbao", duty, config);
-    const auto opt = analysis::run_point(topo, "opt", duty, config);
+  const std::vector<double> duty_pcts{2.0, 4.0,  6.0,  8.0,  10.0,
+                                      12.0, 14.0, 16.0, 18.0, 20.0};
+  std::vector<double> duty_ratios;
+  for (const double pct : duty_pcts) duty_ratios.push_back(pct / 100.0);
+  // One parallel sweep over the full grid; protocol-major result layout.
+  const auto points = analysis::run_duty_sweep(topo, {"of", "dbao", "opt"},
+                                               duty_ratios, config);
+  for (std::size_t d = 0; d < duty_pcts.size(); ++d) {
+    const auto& of = points[0 * duty_ratios.size() + d];
+    const auto& dbao = points[1 * duty_ratios.size() + d];
+    const auto& opt = points[2 * duty_ratios.size() + d];
     of_range.add(of.failures);
     dbao_range.add(dbao.failures);
     opt_range.add(opt.failures);
-    table.add_row({Table::num(pct, 0) + "%", Table::num(of.failures, 0),
-                   Table::num(dbao.failures, 0), Table::num(opt.failures, 0),
-                   Table::num(of.attempts, 0), Table::num(dbao.attempts, 0),
-                   Table::num(opt.attempts, 0)});
+    table.add_row({Table::num(duty_pcts[d], 0) + "%",
+                   Table::num(of.failures, 0), Table::num(dbao.failures, 0),
+                   Table::num(opt.failures, 0), Table::num(of.attempts, 0),
+                   Table::num(dbao.attempts, 0), Table::num(opt.attempts, 0)});
   }
   table.print(std::cout);
   std::cout << "\nFlatness (max/min failure ratio across duty cycles): OF "

@@ -25,6 +25,7 @@ int main() {
     config.base.num_packets = packets;
     config.base.seed = 100;
     config.repetitions = kSeeds;
+    config.threads = bench::threads();
     Table table({"protocol", "mean delay", "stddev", "failures"});
     std::vector<double> delays;
     for (const char* name : {"of", "dbao", "opt"}) {
@@ -50,6 +51,7 @@ int main() {
       config.base.num_packets = packets;
       config.base.seed = 7;
       config.repetitions = 5;
+      config.threads = bench::threads();
       const auto duty = DutyCycle::from_ratio(bench::kPaperDuty);
       const auto of = analysis::run_point(topo, "of", duty, config);
       const auto dbao = analysis::run_point(topo, "dbao", duty, config);

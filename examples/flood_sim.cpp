@@ -16,13 +16,16 @@
 //     --coverage F       coverage fraction (default 0.99)
 //     --kill NODE@SLOT   inject a node death (repeatable)
 //     --burst SCALE,START,DUR,PERIOD  periodic link-quality bursts
-//     --csv              machine-readable per-packet output
+//     --reps R           average over R seeds (seed, seed+1, ...; default 1)
+//     --threads N        trial workers for --reps: 0 = all cores, 1 = serial
+//     --csv              machine-readable per-packet output (single run only)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "ldcf/analysis/experiment.hpp"
 #include "ldcf/analysis/table.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/sim/simulator.hpp"
@@ -72,6 +75,8 @@ int run_cli(int argc, char** argv) {
   std::uint64_t topo_seed = 1;
   double duty_pct = 5.0;
   bool csv = false;
+  std::uint32_t reps = 1;
+  std::uint32_t threads = 0;
   sim::SimConfig config;
   config.num_packets = 100;
   config.seed = 7;
@@ -121,6 +126,10 @@ int run_cli(int argc, char** argv) {
       }
       config.perturbations.burst =
           sim::LinkBurst{scale, start, dur, period};
+    } else if (arg == "--reps") {
+      reps = static_cast<std::uint32_t>(parse_u64(next()));
+    } else if (arg == "--threads") {
+      threads = static_cast<std::uint32_t>(parse_u64(next()));
     } else if (arg == "--csv") {
       csv = true;
     } else {
@@ -143,6 +152,33 @@ int run_cli(int argc, char** argv) {
               return topology::make_clustered(gen);
             }()
           : topology::read_trace_file(trace_path);
+
+  if (reps > 1) {
+    // Multi-seed mode: average over reps seeds, fanning the trials out
+    // over the parallel trial executor (bit-identical at any --threads).
+    if (csv) usage_error("--csv reports one run; drop it or use --reps 1");
+    analysis::ExperimentConfig experiment;
+    experiment.base = config;
+    experiment.repetitions = reps;
+    experiment.threads = threads;
+    const analysis::ProtocolPoint point =
+        analysis::run_point(topo, protocol, config.duty, experiment);
+    std::cout << "protocol " << point.protocol << " on " << topo.num_sensors()
+              << " sensors, duty " << 100.0 * config.duty.ratio() << "% x"
+              << config.slots_per_period << ", M = " << config.num_packets
+              << ", seeds " << config.seed << ".." << config.seed + reps - 1
+              << "\n";
+    std::cout << "  delay slots: mean " << point.mean_delay << " +/- "
+              << point.delay_stddev << " (queueing "
+              << point.mean_queueing_delay << ", transmission "
+              << point.mean_transmission_delay << ")\n";
+    std::cout << "  channel per run: " << point.attempts << " attempts, "
+              << point.failures << " failures, " << point.duplicates
+              << " duplicates\n";
+    std::cout << "  energy per run: " << point.energy_total
+              << ", est. lifetime " << point.lifetime_slots << " slots\n";
+    return point.all_covered ? 0 : 1;
+  }
 
   const auto proto = protocols::make_protocol(protocol);
   const sim::SimResult result = sim::run_simulation(topo, config, *proto);

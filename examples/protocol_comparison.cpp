@@ -3,7 +3,10 @@
 // trace-driven workflow: the topology is written to a trace file and loaded
 // back, exactly as a real measurement trace would be.
 //
-//   ./protocol_comparison [duty_percent] [num_packets] [seed]
+//   ./protocol_comparison [duty_percent] [num_packets] [seed] [threads]
+//
+// All protocols run as one parallel sweep (threads: 0 = all cores,
+// 1 = serial); the numbers are bit-identical at any thread count.
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -22,6 +25,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 20);
   const std::uint64_t seed =
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  const auto threads =
+      static_cast<std::uint32_t>(argc > 4 ? std::atoi(argv[4]) : 0);
 
   // Trace-driven: generate once, round-trip through the trace format.
   const auto trace_path =
@@ -36,12 +41,15 @@ int main(int argc, char** argv) {
   analysis::ExperimentConfig config;
   config.base.num_packets = packets;
   config.base.seed = seed;
+  config.threads = threads;
+
+  // One sweep call: every protocol's trial runs concurrently.
+  const auto points = analysis::run_duty_sweep(
+      topo, protocols::protocol_names(), {duty_percent / 100.0}, config);
 
   analysis::Table table({"protocol", "mean delay", "queueing", "transmission",
                          "failures", "attempts", "duplicates"});
-  for (const auto& name : protocols::protocol_names()) {
-    const auto point = analysis::run_point(
-        topo, name, DutyCycle::from_ratio(duty_percent / 100.0), config);
+  for (const auto& point : points) {
     table.add_row({point.protocol, analysis::Table::num(point.mean_delay),
                    analysis::Table::num(point.mean_queueing_delay),
                    analysis::Table::num(point.mean_transmission_delay),

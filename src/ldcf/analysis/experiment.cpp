@@ -3,61 +3,124 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ldcf/analysis/parallel.hpp"
 #include "ldcf/common/error.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/topology/tree.hpp"
 
 namespace ldcf::analysis {
 
+TrialStats run_trial(const topology::Topology& topo,
+                     const std::string& protocol,
+                     const sim::SimConfig& config) {
+  const auto proto = protocols::make_protocol(protocol);
+  const sim::SimResult res = sim::run_simulation(topo, config, *proto);
+  TrialStats stats;
+  stats.mean_delay = res.metrics.mean_total_delay();
+  stats.mean_queueing_delay = res.metrics.mean_queueing_delay();
+  stats.mean_transmission_delay = res.metrics.mean_transmission_delay();
+  stats.failures = static_cast<double>(res.metrics.channel.failures());
+  stats.attempts = static_cast<double>(res.metrics.channel.attempts);
+  stats.duplicates = static_cast<double>(res.metrics.channel.duplicates);
+  stats.energy_total = res.energy.total;
+  stats.lifetime_slots = sim::estimate_lifetime_slots(
+      res.tally, config.energy, res.metrics.end_slot);
+  stats.all_covered = res.metrics.all_covered;
+  return stats;
+}
+
+ProtocolPoint reduce_trials(const std::string& protocol, DutyCycle duty,
+                            const std::vector<TrialStats>& trials) {
+  LDCF_REQUIRE(!trials.empty(), "need at least one trial");
+  ProtocolPoint point;
+  point.protocol = protocol;
+  point.duty_ratio = duty.ratio();
+  const auto reps = static_cast<double>(trials.size());
+  for (const TrialStats& t : trials) {
+    point.mean_delay += t.mean_delay / reps;
+    point.mean_queueing_delay += t.mean_queueing_delay / reps;
+    point.mean_transmission_delay += t.mean_transmission_delay / reps;
+    point.failures += t.failures / reps;
+    point.attempts += t.attempts / reps;
+    point.duplicates += t.duplicates / reps;
+    point.energy_total += t.energy_total / reps;
+    point.lifetime_slots += t.lifetime_slots / reps;
+    point.all_covered = point.all_covered && t.all_covered;
+  }
+  // Two-pass population stddev: squared deviations from the already-known
+  // mean. The one-pass sqrt(E[x^2] - mean^2) form cancels catastrophically
+  // when the spread is tiny relative to the mean (e.g. delays ~1e8 apart
+  // by fractions of a slot).
+  double sum_sq_dev = 0.0;
+  for (const TrialStats& t : trials) {
+    const double dev = t.mean_delay - point.mean_delay;
+    sum_sq_dev += dev * dev;
+  }
+  point.delay_stddev = std::sqrt(sum_sq_dev / reps);
+  return point;
+}
+
+namespace {
+
+/// Per-repetition SimConfig for one sweep cell: the duty override and the
+/// self-contained per-trial seed (base.seed + rep).
+sim::SimConfig trial_config(const ExperimentConfig& config, DutyCycle duty,
+                            std::uint32_t rep) {
+  sim::SimConfig run_config = config.base;
+  run_config.duty = duty;
+  run_config.seed = config.base.seed + rep;
+  return run_config;
+}
+
+}  // namespace
+
 ProtocolPoint run_point(const topology::Topology& topo,
                         const std::string& protocol, DutyCycle duty,
                         const ExperimentConfig& config) {
   LDCF_REQUIRE(config.repetitions >= 1, "need at least one repetition");
-  ProtocolPoint point;
-  point.protocol = protocol;
-  point.duty_ratio = duty.ratio();
-  const auto reps = static_cast<double>(config.repetitions);
-  double delay_sum_sq = 0.0;
-  for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
-    sim::SimConfig run_config = config.base;
-    run_config.duty = duty;
-    run_config.seed = config.base.seed + rep;
-    const auto proto = protocols::make_protocol(protocol);
-    const sim::SimResult res = sim::run_simulation(topo, run_config, *proto);
-    delay_sum_sq += res.metrics.mean_total_delay() *
-                    res.metrics.mean_total_delay() / reps;
-    point.mean_delay += res.metrics.mean_total_delay() / reps;
-    point.mean_queueing_delay += res.metrics.mean_queueing_delay() / reps;
-    point.mean_transmission_delay +=
-        res.metrics.mean_transmission_delay() / reps;
-    point.failures +=
-        static_cast<double>(res.metrics.channel.failures()) / reps;
-    point.attempts +=
-        static_cast<double>(res.metrics.channel.attempts) / reps;
-    point.duplicates +=
-        static_cast<double>(res.metrics.channel.duplicates) / reps;
-    point.energy_total += res.energy.total / reps;
-    point.lifetime_slots +=
-        sim::estimate_lifetime_slots(res.tally, run_config.energy,
-                                     res.metrics.end_slot) /
-        reps;
-    point.all_covered = point.all_covered && res.metrics.all_covered;
-  }
-  point.delay_stddev = std::sqrt(
-      std::max(0.0, delay_sum_sq - point.mean_delay * point.mean_delay));
-  return point;
+  std::vector<TrialStats> trials(config.repetitions);
+  parallel_for_indexed(
+      trials.size(), config.threads, [&](std::size_t rep) {
+        trials[rep] = run_trial(
+            topo, protocol,
+            trial_config(config, duty, static_cast<std::uint32_t>(rep)));
+      });
+  return reduce_trials(protocol, duty, trials);
 }
 
 std::vector<ProtocolPoint> run_duty_sweep(
     const topology::Topology& topo, const std::vector<std::string>& protocols,
     const std::vector<double>& duty_ratios, const ExperimentConfig& config) {
+  LDCF_REQUIRE(config.repetitions >= 1, "need at least one repetition");
+  // Flatten the whole (protocol x duty x repetition) grid into one task
+  // list so a few protocols at a few duty cycles still saturate all
+  // workers. Trial t belongs to grid cell t / repetitions, repetition
+  // t % repetitions; the reduction below walks cells in grid order, so
+  // the output is bit-identical to the serial nested loop.
+  const std::size_t reps = config.repetitions;
+  const std::size_t cells = protocols.size() * duty_ratios.size();
+  std::vector<TrialStats> trials(cells * reps);
+  parallel_for_indexed(
+      trials.size(), config.threads, [&](std::size_t t) {
+        const std::size_t cell = t / reps;
+        const auto rep = static_cast<std::uint32_t>(t % reps);
+        const std::string& protocol = protocols[cell / duty_ratios.size()];
+        const DutyCycle duty =
+            DutyCycle::from_ratio(duty_ratios[cell % duty_ratios.size()]);
+        trials[t] = run_trial(topo, protocol,
+                              trial_config(config, duty, rep));
+      });
+
   std::vector<ProtocolPoint> points;
-  points.reserve(protocols.size() * duty_ratios.size());
-  for (const auto& protocol : protocols) {
-    for (const double ratio : duty_ratios) {
-      points.push_back(
-          run_point(topo, protocol, DutyCycle::from_ratio(ratio), config));
-    }
+  points.reserve(cells);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    const std::vector<TrialStats> cell_trials(
+        trials.begin() + static_cast<std::ptrdiff_t>(cell * reps),
+        trials.begin() + static_cast<std::ptrdiff_t>((cell + 1) * reps));
+    points.push_back(reduce_trials(
+        protocols[cell / duty_ratios.size()],
+        DutyCycle::from_ratio(duty_ratios[cell % duty_ratios.size()]),
+        cell_trials));
   }
   return points;
 }

@@ -29,15 +29,51 @@ struct ProtocolPoint {
 struct ExperimentConfig {
   sim::SimConfig base{};         ///< duty is overridden per sweep point.
   std::uint32_t repetitions = 1; ///< seeds base.seed, base.seed+1, ...
+  /// Worker threads for fanning out independent trials: 0 = one per
+  /// hardware thread, 1 = exact serial fallback (no thread spawned).
+  /// Results are bit-identical for every value (see parallel.hpp).
+  std::uint32_t threads = 0;
 };
 
+/// Raw aggregates of one seeded simulation trial, in reduction order.
+/// Exposed so the reduction arithmetic is testable without running sims.
+struct TrialStats {
+  double mean_delay = 0.0;
+  double mean_queueing_delay = 0.0;
+  double mean_transmission_delay = 0.0;
+  double failures = 0.0;
+  double attempts = 0.0;
+  double duplicates = 0.0;
+  double energy_total = 0.0;
+  double lifetime_slots = 0.0;
+  bool all_covered = true;
+};
+
+/// One simulation run of `protocol` under exactly `config` (duty and seed
+/// already set). Self-contained: safe to run concurrently with other trials.
+[[nodiscard]] TrialStats run_trial(const topology::Topology& topo,
+                                   const std::string& protocol,
+                                   const sim::SimConfig& config);
+
+/// Index-ordered reduction of per-repetition trials into a ProtocolPoint.
+/// delay_stddev is the population stddev of the per-trial mean delays,
+/// computed two-pass (sum of squared deviations from the mean) so that
+/// near-equal large delays do not cancel catastrophically.
+[[nodiscard]] ProtocolPoint reduce_trials(const std::string& protocol,
+                                          DutyCycle duty,
+                                          const std::vector<TrialStats>& trials);
+
 /// Run one protocol at one duty cycle, averaged over repetitions.
+/// Repetitions fan out over config.threads workers; the result is
+/// bit-identical for every thread count.
 [[nodiscard]] ProtocolPoint run_point(const topology::Topology& topo,
                                       const std::string& protocol,
                                       DutyCycle duty,
                                       const ExperimentConfig& config);
 
-/// The Fig. 10/11 sweep: every protocol at every duty ratio.
+/// The Fig. 10/11 sweep: every protocol at every duty ratio. The whole
+/// (protocol x duty x repetition) trial grid fans out over config.threads
+/// workers; output order and every field are bit-identical to threads=1.
 [[nodiscard]] std::vector<ProtocolPoint> run_duty_sweep(
     const topology::Topology& topo, const std::vector<std::string>& protocols,
     const std::vector<double>& duty_ratios, const ExperimentConfig& config);

@@ -1,0 +1,51 @@
+#include "ldcf/analysis/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace ldcf::analysis {
+
+std::uint32_t resolve_threads(std::uint32_t requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void parallel_for_indexed(std::size_t count, std::uint32_t threads,
+                          const std::function<void(std::size_t)>& task) {
+  const std::size_t workers =
+      std::min<std::size_t>(resolve_threads(threads), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  // Indices are claimed from one atomic counter; each failure lands in the
+  // slot owned by its index so the rethrow choice below is deterministic.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(count);
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        task(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ldcf::analysis

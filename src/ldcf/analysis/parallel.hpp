@@ -1,0 +1,38 @@
+// Deterministic fan-out of independent tasks across std::thread workers.
+//
+// Simulation trials are embarrassingly parallel: every (protocol, duty,
+// seed) trial derives all of its randomness from its own seed and touches
+// no shared mutable state. The executor here exploits that while keeping
+// the output bit-identical to a serial run: each task writes only to the
+// slot owned by its index, workers pull indices from a shared atomic
+// counter (no work stealing, no reordering of results), and the caller
+// reduces the index-ordered slots after the join. Which worker runs which
+// index is nondeterministic; nothing observable depends on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ldcf::analysis {
+
+/// Resolve a `threads` knob: 0 means "one worker per hardware thread"
+/// (at least 1, in case hardware_concurrency reports 0), any other value
+/// is taken literally.
+[[nodiscard]] std::uint32_t resolve_threads(std::uint32_t requested);
+
+/// Run task(i) for every i in [0, count), fanning out over at most
+/// `threads` workers (resolved via resolve_threads). With a resolved
+/// worker count of 1 — or count <= 1 — the tasks run inline on the calling
+/// thread with no thread spawned: the exact serial fallback.
+///
+/// task(i) must confine its writes to state owned by index i; under that
+/// contract the overall effect is identical for every thread count.
+///
+/// If tasks throw, the exception thrown by the *lowest* index is rethrown
+/// after all workers join — the same exception a serial left-to-right run
+/// would surface — so error behaviour is deterministic too.
+void parallel_for_indexed(std::size_t count, std::uint32_t threads,
+                          const std::function<void(std::size_t)>& task);
+
+}  // namespace ldcf::analysis

@@ -9,8 +9,9 @@ std::uint64_t Rng::below(std::uint64_t bound) noexcept {
   // Lemire rejection: unbiased mapping of a 64-bit draw into [0, bound).
   while (true) {
     const std::uint64_t x = next();
-    const unsigned __int128 m =
-        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+    // __extension__: __int128 is a GCC/Clang extension -Wpedantic flags.
+    __extension__ typedef unsigned __int128 u128;
+    const u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
     const auto lo = static_cast<std::uint64_t>(m);
     if (lo >= bound || lo >= static_cast<std::uint64_t>(-static_cast<std::int64_t>(bound)) % bound) {
       return static_cast<std::uint64_t>(m >> 64);

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "ldcf/common/error.hpp"
+#include "ldcf/protocols/registry.hpp"
 #include "ldcf/topology/generators.hpp"
 
 namespace ldcf::analysis {
@@ -66,6 +69,80 @@ TEST(Experiment, DutySweepCoversGrid) {
   EXPECT_LT(points[0].mean_delay, points[1].mean_delay);
 }
 
+// The one-pass sqrt(E[x^2] - mean^2) formula this replaced loses all
+// significant digits when the spread is tiny relative to the mean: with
+// per-trial means near 1e9 the squares sit at 1e18 where a double's ulp is
+// ~128, so the subtraction returns quantization noise, not 2/3.
+TEST(ReduceTrials, StddevSurvivesNearEqualLargeDelays) {
+  std::vector<TrialStats> trials(3);
+  trials[0].mean_delay = 1e9;
+  trials[1].mean_delay = 1e9 + 1.0;
+  trials[2].mean_delay = 1e9 + 2.0;
+  const ProtocolPoint point = reduce_trials("opt", DutyCycle{10}, trials);
+  EXPECT_NEAR(point.mean_delay, 1e9 + 1.0, 1e-3);
+  EXPECT_NEAR(point.delay_stddev, std::sqrt(2.0 / 3.0), 1e-6);
+}
+
+TEST(ReduceTrials, StddevMatchesPopulationFormula) {
+  std::vector<TrialStats> trials(3);
+  trials[0].mean_delay = 10.0;
+  trials[1].mean_delay = 20.0;
+  trials[2].mean_delay = 30.0;
+  const ProtocolPoint point = reduce_trials("opt", DutyCycle{10}, trials);
+  EXPECT_DOUBLE_EQ(point.mean_delay, 20.0);
+  EXPECT_NEAR(point.delay_stddev, std::sqrt(200.0 / 3.0), 1e-12);
+
+  const std::vector<TrialStats> identical(4, trials[0]);
+  EXPECT_EQ(reduce_trials("opt", DutyCycle{10}, identical).delay_stddev, 0.0);
+
+  EXPECT_THROW((void)reduce_trials("opt", DutyCycle{10}, {}),
+               InvalidArgument);
+}
+
+// The parallel executor's whole contract: any thread count produces
+// field-for-field bit-identical sweep results, for every registered
+// protocol, on more than one topology.
+TEST(Experiment, SweepIsBitIdenticalAcrossThreadCounts) {
+  const std::vector<topology::Topology> topos = {
+      small_trace(), topology::make_complete(12, 0.9)};
+  const std::vector<std::string> protocols = protocols::protocol_names();
+  const std::vector<double> duties{0.2, 0.1};
+  for (const auto& topo : topos) {
+    ExperimentConfig serial = quick();
+    serial.base.num_packets = 3;
+    serial.repetitions = 3;
+    serial.threads = 1;
+    ExperimentConfig parallel = serial;
+    parallel.threads = 4;
+    const auto a = run_duty_sweep(topo, protocols, duties, serial);
+    const auto b = run_duty_sweep(topo, protocols, duties, parallel);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), protocols.size() * duties.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      SCOPED_TRACE(a[i].protocol + " @ duty " +
+                   std::to_string(a[i].duty_ratio));
+      EXPECT_EQ(a[i].protocol, b[i].protocol);
+      EXPECT_EQ(a[i].duty_ratio, b[i].duty_ratio);
+      EXPECT_EQ(a[i].mean_delay, b[i].mean_delay);
+      EXPECT_EQ(a[i].delay_stddev, b[i].delay_stddev);
+      EXPECT_EQ(a[i].mean_queueing_delay, b[i].mean_queueing_delay);
+      EXPECT_EQ(a[i].mean_transmission_delay, b[i].mean_transmission_delay);
+      EXPECT_EQ(a[i].failures, b[i].failures);
+      EXPECT_EQ(a[i].attempts, b[i].attempts);
+      EXPECT_EQ(a[i].duplicates, b[i].duplicates);
+      EXPECT_EQ(a[i].energy_total, b[i].energy_total);
+      EXPECT_EQ(a[i].lifetime_slots, b[i].lifetime_slots);
+      EXPECT_EQ(a[i].all_covered, b[i].all_covered);
+    }
+    // A parallel run_point reproduces its sweep cell bit-for-bit too.
+    const auto point = run_point(topo, protocols[0],
+                                 DutyCycle::from_ratio(duties[0]), parallel);
+    EXPECT_EQ(point.mean_delay, a[0].mean_delay);
+    EXPECT_EQ(point.delay_stddev, a[0].delay_stddev);
+    EXPECT_EQ(point.energy_total, a[0].energy_total);
+  }
+}
+
 TEST(EffectiveK, ReductionsAreOrderedByJensen) {
   const auto topo = small_trace();
   const double optimistic = effective_k(topo, KEstimate::kInverseMeanPrr);
@@ -94,6 +171,37 @@ TEST(EffectiveK, RejectsLinklessTopology) {
                InvalidArgument);
 }
 
+TEST(EffectiveK, SingleLinkTopologyCollapsesAllModes) {
+  topology::Topology topo{std::vector<topology::Point2D>(2)};
+  topo.add_link(0, 1, 0.5);
+  for (const auto mode :
+       {KEstimate::kInverseMeanPrr, KEstimate::kHarmonicMean,
+        KEstimate::kTreeWeighted}) {
+    EXPECT_NEAR(effective_k(topo, mode), 2.0, 1e-12);
+  }
+}
+
+TEST(EffectiveK, PerfectLinksNeedExactlyOneTransmission) {
+  const auto topo = topology::make_complete(8, 1.0);
+  for (const auto mode :
+       {KEstimate::kInverseMeanPrr, KEstimate::kHarmonicMean,
+        KEstimate::kTreeWeighted}) {
+    EXPECT_DOUBLE_EQ(effective_k(topo, mode), 1.0);
+  }
+}
+
+TEST(EffectiveK, TreeWeightedThrowsWhenSourceReachesNothing) {
+  // Links exist (so the linkless check passes) but none leave the source:
+  // the ETX tree from node 0 is empty and the reduction must refuse.
+  topology::Topology topo{std::vector<topology::Point2D>(3)};
+  topo.add_link(1, 2, 0.8);
+  EXPECT_THROW((void)effective_k(topo, KEstimate::kTreeWeighted),
+               InvalidArgument);
+  // The link-global reductions still work on the same topology.
+  EXPECT_NEAR(effective_k(topo, KEstimate::kInverseMeanPrr), 1.25, 1e-12);
+  EXPECT_NEAR(effective_k(topo, KEstimate::kHarmonicMean), 1.25, 1e-12);
+}
+
 TEST(Experiment, PacketSeriesHasOneEntryPerPacket) {
   const auto topo = small_trace();
   sim::SimConfig config = quick().base;
@@ -104,6 +212,25 @@ TEST(Experiment, PacketSeriesHasOneEntryPerPacket) {
   for (std::size_t p = 0; p < 8; ++p) {
     EXPECT_EQ(series.total_delay[p],
               series.queueing_delay[p] + series.transmission_delay[p]);
+  }
+}
+
+// Fig. 9's decomposition must hold per packet for every protocol family:
+// the three series stay aligned and total = queueing + transmission.
+TEST(Experiment, PacketSeriesDelayDecomposesForEveryProtocol) {
+  const auto topo = small_trace();
+  sim::SimConfig config = quick().base;
+  config.num_packets = 6;
+  for (const auto& name : protocols::protocol_names()) {
+    const auto series = run_packet_series(topo, name, config);
+    SCOPED_TRACE(name);
+    ASSERT_EQ(series.total_delay.size(), 6u);
+    ASSERT_EQ(series.queueing_delay.size(), 6u);
+    ASSERT_EQ(series.transmission_delay.size(), 6u);
+    for (std::size_t p = 0; p < series.total_delay.size(); ++p) {
+      EXPECT_EQ(series.total_delay[p],
+                series.queueing_delay[p] + series.transmission_delay[p]);
+    }
   }
 }
 

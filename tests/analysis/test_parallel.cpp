@@ -1,0 +1,72 @@
+#include "ldcf/analysis/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ldcf::analysis {
+namespace {
+
+TEST(ResolveThreads, ZeroMeansOnePerHardwareThread) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const std::uint32_t threads : {0u, 1u, 2u, 4u, 9u}) {
+    std::vector<int> visits(101, 0);
+    parallel_for_indexed(visits.size(), threads,
+                         [&](std::size_t i) { ++visits[i]; });
+    for (const int v : visits) EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingletonRanges) {
+  bool ran = false;
+  parallel_for_indexed(0, 4, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  std::size_t seen = 99;
+  parallel_for_indexed(1, 4, [&](std::size_t i) { seen = i; });
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(ParallelFor, MoreWorkersThanTasks) {
+  std::vector<int> visits(3, 0);
+  parallel_for_indexed(visits.size(), 16,
+                       [&](std::size_t i) { ++visits[i]; });
+  EXPECT_EQ(visits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ParallelFor, SerialFallbackRunsInlineInIndexOrder) {
+  const std::thread::id main_id = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for_indexed(5, 1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), main_id);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, RethrowsTheLowestFailingIndex) {
+  // Serial and parallel runs must surface the same exception: the one a
+  // left-to-right serial execution hits first.
+  for (const std::uint32_t threads : {1u, 4u}) {
+    try {
+      parallel_for_indexed(64, threads, [](std::size_t i) {
+        if (i % 2 == 1) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception at threads=" << threads;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 1");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldcf::analysis

@@ -42,7 +42,7 @@ TEST(Table1, LargeMBranchSaturates) {
 }
 
 TEST(Table1, RejectsOutOfRangeIndex) {
-  EXPECT_THROW(table1_waiting(16, 3, 3), InvalidArgument);
+  EXPECT_THROW((void)table1_waiting(16, 3, 3), InvalidArgument);
 }
 
 TEST(ExpectedFdl, Theorem1BothBranches) {

@@ -19,7 +19,7 @@ TEST(MOf, MatchesCeilLog2OfNPlusOne) {
   EXPECT_EQ(m_of(298), 9u);  // GreenOrbs scale: ceil(log2(299)).
 }
 
-TEST(MOf, RejectsEmptyNetwork) { EXPECT_THROW(m_of(0), InvalidArgument); }
+TEST(MOf, RejectsEmptyNetwork) { EXPECT_THROW((void)m_of(0), InvalidArgument); }
 
 TEST(ExpectedFwl, ReliableLinksReduceToCeilLog2) {
   // mu = 2 (reliable links): Lemma 2 reduces to Eq. (6).
@@ -54,9 +54,9 @@ TEST(ExpectedFwl, MatchesClosedForm) {
 }
 
 TEST(ExpectedFwl, RejectsOutOfRangeMu) {
-  EXPECT_THROW(expected_fwl(16, 1.0), InvalidArgument);
-  EXPECT_THROW(expected_fwl(16, 2.5), InvalidArgument);
-  EXPECT_THROW(expected_fwl(16, 0.5), InvalidArgument);
+  EXPECT_THROW((void)expected_fwl(16, 1.0), InvalidArgument);
+  EXPECT_THROW((void)expected_fwl(16, 2.5), InvalidArgument);
+  EXPECT_THROW((void)expected_fwl(16, 0.5), InvalidArgument);
 }
 
 TEST(MultiPacketFwl, SinglePacketEqualsM) {
