@@ -1,0 +1,77 @@
+// Engine throughput microbenchmark: slots simulated per second on a
+// 256-node clustered topology, per protocol. This is the baseline hot-path
+// number future engine PRs are measured against — the trace-driven figure
+// benches vary protocol behaviour, this one pins raw slot-loop cost.
+//
+// Env knobs: LDCF_BENCH_PACKETS (default 60), LDCF_BENCH_REPS (default 3,
+// best-of), LDCF_ENGINE_DUTY_PCT (default 5).
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ldcf/analysis/table.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/generators.hpp"
+
+int main() {
+  using namespace ldcf;
+  using analysis::Table;
+  using Clock = std::chrono::steady_clock;
+
+  topology::ClusterConfig gen;
+  gen.base.num_sensors = 255;  // 256 nodes including the source.
+  gen.base.area_side_m = 520.0;
+  gen.base.radio.path_loss_exponent = 3.3;
+  gen.base.seed = 1;
+  gen.num_clusters = 15;
+  gen.cluster_sigma_m = 34.0;
+  const topology::Topology topo = topology::make_clustered(gen);
+
+  double duty_pct = 5.0;
+  if (const char* env = std::getenv("LDCF_ENGINE_DUTY_PCT")) {
+    const double value = std::strtod(env, nullptr);
+    if (value > 0.0) duty_pct = value;
+  }
+
+  sim::SimConfig config;
+  config.duty = DutyCycle::from_ratio(duty_pct / 100.0);
+  config.num_packets = bench::packet_count() < 100 ? bench::packet_count() : 60;
+  config.seed = 7;
+  config.max_slots = 50'000'000;
+  const std::uint32_t reps = bench::repetitions();
+
+  std::cout << "=== Engine throughput (N = " << topo.num_nodes()
+            << " nodes, M = " << config.num_packets << ", duty " << duty_pct
+            << "%, best of " << reps << ") ===\n";
+
+  Table table({"protocol", "slots", "attempts", "ms", "slots/sec"});
+  for (const char* name : {"opt", "dbao", "of", "naive"}) {
+    double best_seconds = 0.0;
+    sim::SimResult result;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const auto proto = protocols::make_protocol(name);
+      const auto start = Clock::now();
+      result = sim::run_simulation(topo, config, *proto);
+      const std::chrono::duration<double> elapsed = Clock::now() - start;
+      if (rep == 0 || elapsed.count() < best_seconds) {
+        best_seconds = elapsed.count();
+      }
+    }
+    const double slots_per_sec =
+        static_cast<double>(result.metrics.end_slot) / best_seconds;
+    table.add_row({name, Table::num(result.metrics.end_slot),
+                   Table::num(result.metrics.channel.attempts),
+                   Table::num(1e3 * best_seconds, 1),
+                   Table::num(slots_per_sec, 0)});
+    if (result.metrics.truncated) {
+      std::cout << "warning: " << name << " truncated at max_slots\n";
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: slots/sec is the hot-path budget; compare "
+               "against EXPERIMENTS.md \"Engine throughput\" before/after "
+               "touching sim/.\n";
+  return 0;
+}

@@ -5,7 +5,9 @@
 //
 //   flood_sim [options]
 //     --protocol NAME    opt | dbao | of | naive | xlayer   (default dbao)
-//     --trace FILE       load topology from a trace file
+//     --topo FILE        load topology from a trace file
+//     --trace PATH       write a JSONL event trace of the run(s) to PATH
+//                        (multi-rep runs get a per-trial suffix)
 //     --sensors N        generate an N-sensor clustered trace (default 298)
 //     --topo-seed S      generator seed (default 1)
 //     --duty PCT         duty cycle percent (default 5)
@@ -23,12 +25,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "ldcf/analysis/experiment.hpp"
 #include "ldcf/analysis/table.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/sim/simulator.hpp"
+#include "ldcf/sim/trace_observer.hpp"
 #include "ldcf/topology/generators.hpp"
 #include "ldcf/topology/trace_io.hpp"
 
@@ -70,7 +74,8 @@ int run_cli(int argc, char** argv) {
   using namespace ldcf;
 
   std::string protocol = "dbao";
-  std::string trace_path;
+  std::string topo_path;
+  std::string trace_path;  // JSONL event-trace output (see trace_observer.hpp).
   std::uint32_t sensors = 298;
   std::uint64_t topo_seed = 1;
   double duty_pct = 5.0;
@@ -89,6 +94,8 @@ int run_cli(int argc, char** argv) {
     };
     if (arg == "--protocol") {
       protocol = next();
+    } else if (arg == "--topo") {
+      topo_path = next();
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--sensors") {
@@ -139,7 +146,7 @@ int run_cli(int argc, char** argv) {
   config.duty = DutyCycle::from_ratio(duty_pct / 100.0);
 
   topology::Topology topo =
-      trace_path.empty()
+      topo_path.empty()
           ? [&] {
               topology::ClusterConfig gen;
               gen.base.num_sensors = sensors;
@@ -151,7 +158,7 @@ int run_cli(int argc, char** argv) {
               gen.cluster_sigma_m = 34.0;
               return topology::make_clustered(gen);
             }()
-          : topology::read_trace_file(trace_path);
+          : topology::read_trace_file(topo_path);
 
   if (reps > 1) {
     // Multi-seed mode: average over reps seeds, fanning the trials out
@@ -161,8 +168,13 @@ int run_cli(int argc, char** argv) {
     experiment.base = config;
     experiment.repetitions = reps;
     experiment.threads = threads;
+    experiment.trace_path = trace_path;  // per-trial suffix added downstream.
     const analysis::ProtocolPoint point =
         analysis::run_point(topo, protocol, config.duty, experiment);
+    if (point.truncated) {
+      std::cerr << "flood_sim: warning: at least one repetition stopped at "
+                   "max_slots before reaching coverage\n";
+    }
     std::cout << "protocol " << point.protocol << " on " << topo.num_sensors()
               << " sensors, duty " << 100.0 * config.duty.ratio() << "% x"
               << config.slots_per_period << ", M = " << config.num_packets
@@ -181,7 +193,14 @@ int run_cli(int argc, char** argv) {
   }
 
   const auto proto = protocols::make_protocol(protocol);
-  const sim::SimResult result = sim::run_simulation(topo, config, *proto);
+  std::optional<sim::TraceObserver> trace;
+  if (!trace_path.empty()) trace.emplace(trace_path);
+  const sim::SimResult result = sim::run_simulation(
+      topo, config, *proto, trace ? &*trace : nullptr);
+  if (result.metrics.truncated) {
+    std::cerr << "flood_sim: warning: run stopped at max_slots ("
+              << config.max_slots << ") before reaching coverage\n";
+  }
 
   if (csv) {
     analysis::Table table({"packet", "generated_at", "covered_at",

@@ -4,12 +4,16 @@
 // back, exactly as a real measurement trace would be.
 //
 //   ./protocol_comparison [duty_percent] [num_packets] [seed] [threads]
+//                         [event_trace_path]
 //
 // All protocols run as one parallel sweep (threads: 0 = all cores,
-// 1 = serial); the numbers are bit-identical at any thread count.
+// 1 = serial); the numbers are bit-identical at any thread count. When
+// event_trace_path is given, every trial writes a JSONL event trace there
+// with a per-trial "-<protocol>-T<period>-r<rep>" suffix.
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <string>
 
 #include "ldcf/analysis/experiment.hpp"
 #include "ldcf/analysis/table.hpp"
@@ -27,6 +31,7 @@ int main(int argc, char** argv) {
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
   const auto threads =
       static_cast<std::uint32_t>(argc > 4 ? std::atoi(argv[4]) : 0);
+  const std::string event_trace_path = argc > 5 ? argv[5] : "";
 
   // Trace-driven: generate once, round-trip through the trace format.
   const auto trace_path =
@@ -42,6 +47,7 @@ int main(int argc, char** argv) {
   config.base.num_packets = packets;
   config.base.seed = seed;
   config.threads = threads;
+  config.trace_path = event_trace_path;
 
   // One sweep call: every protocol's trial runs concurrently.
   const auto points = analysis::run_duty_sweep(
@@ -50,6 +56,10 @@ int main(int argc, char** argv) {
   analysis::Table table({"protocol", "mean delay", "queueing", "transmission",
                          "failures", "attempts", "duplicates"});
   for (const auto& point : points) {
+    if (point.truncated) {
+      std::cerr << "protocol_comparison: warning: " << point.protocol
+                << " stopped at max_slots before reaching coverage\n";
+    }
     table.add_row({point.protocol, analysis::Table::num(point.mean_delay),
                    analysis::Table::num(point.mean_queueing_delay),
                    analysis::Table::num(point.mean_transmission_delay),

@@ -6,15 +6,23 @@
 #include "ldcf/analysis/parallel.hpp"
 #include "ldcf/common/error.hpp"
 #include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/trace_observer.hpp"
 #include "ldcf/topology/tree.hpp"
 
 namespace ldcf::analysis {
 
 TrialStats run_trial(const topology::Topology& topo,
                      const std::string& protocol,
-                     const sim::SimConfig& config) {
+                     const sim::SimConfig& config,
+                     const std::string& trace_path) {
   const auto proto = protocols::make_protocol(protocol);
-  const sim::SimResult res = sim::run_simulation(topo, config, *proto);
+  sim::SimResult res;
+  if (trace_path.empty()) {
+    res = sim::run_simulation(topo, config, *proto);
+  } else {
+    sim::TraceObserver trace(trace_path);
+    res = sim::run_simulation(topo, config, *proto, &trace);
+  }
   TrialStats stats;
   stats.mean_delay = res.metrics.mean_total_delay();
   stats.mean_queueing_delay = res.metrics.mean_queueing_delay();
@@ -26,6 +34,7 @@ TrialStats run_trial(const topology::Topology& topo,
   stats.lifetime_slots = sim::estimate_lifetime_slots(
       res.tally, config.energy, res.metrics.end_slot);
   stats.all_covered = res.metrics.all_covered;
+  stats.truncated = res.metrics.truncated;
   return stats;
 }
 
@@ -46,6 +55,7 @@ ProtocolPoint reduce_trials(const std::string& protocol, DutyCycle duty,
     point.energy_total += t.energy_total / reps;
     point.lifetime_slots += t.lifetime_slots / reps;
     point.all_covered = point.all_covered && t.all_covered;
+    point.truncated = point.truncated || t.truncated;
   }
   // Two-pass population stddev: squared deviations from the already-known
   // mean. The one-pass sqrt(E[x^2] - mean^2) form cancels catastrophically
@@ -72,6 +82,26 @@ sim::SimConfig trial_config(const ExperimentConfig& config, DutyCycle duty,
   return run_config;
 }
 
+/// Per-trial trace file: the configured path verbatim for a single trial,
+/// otherwise "-<protocol>-T<period>-r<rep>" spliced in before the extension
+/// so concurrent trials never clobber each other's file.
+std::string trial_trace_path(const ExperimentConfig& config,
+                             const std::string& protocol, DutyCycle duty,
+                             std::uint32_t rep, std::size_t total_trials) {
+  if (config.trace_path.empty()) return {};
+  if (total_trials <= 1) return config.trace_path;
+  std::string suffix = "-" + protocol + "-T" + std::to_string(duty.period) +
+                       "-r" + std::to_string(rep);
+  const std::size_t dot = config.trace_path.find_last_of('.');
+  const std::size_t slash = config.trace_path.find_last_of('/');
+  const bool has_ext =
+      dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash);
+  if (!has_ext) return config.trace_path + suffix;
+  return config.trace_path.substr(0, dot) + suffix +
+         config.trace_path.substr(dot);
+}
+
 }  // namespace
 
 ProtocolPoint run_point(const topology::Topology& topo,
@@ -81,9 +111,10 @@ ProtocolPoint run_point(const topology::Topology& topo,
   std::vector<TrialStats> trials(config.repetitions);
   parallel_for_indexed(
       trials.size(), config.threads, [&](std::size_t rep) {
+        const auto r = static_cast<std::uint32_t>(rep);
         trials[rep] = run_trial(
-            topo, protocol,
-            trial_config(config, duty, static_cast<std::uint32_t>(rep)));
+            topo, protocol, trial_config(config, duty, r),
+            trial_trace_path(config, protocol, duty, r, trials.size()));
       });
   return reduce_trials(protocol, duty, trials);
 }
@@ -107,8 +138,9 @@ std::vector<ProtocolPoint> run_duty_sweep(
         const std::string& protocol = protocols[cell / duty_ratios.size()];
         const DutyCycle duty =
             DutyCycle::from_ratio(duty_ratios[cell % duty_ratios.size()]);
-        trials[t] = run_trial(topo, protocol,
-                              trial_config(config, duty, rep));
+        trials[t] = run_trial(
+            topo, protocol, trial_config(config, duty, rep),
+            trial_trace_path(config, protocol, duty, rep, trials.size()));
       });
 
   std::vector<ProtocolPoint> points;

@@ -24,6 +24,7 @@ struct ProtocolPoint {
   double energy_total = 0.0;
   double lifetime_slots = 0.0;      ///< estimated from the hottest node.
   bool all_covered = true;
+  bool truncated = false;           ///< any repetition hit max_slots.
 };
 
 struct ExperimentConfig {
@@ -33,6 +34,11 @@ struct ExperimentConfig {
   /// hardware thread, 1 = exact serial fallback (no thread spawned).
   /// Results are bit-identical for every value (see parallel.hpp).
   std::uint32_t threads = 0;
+  /// When non-empty, every trial writes a JSONL event trace (see
+  /// trace_observer.hpp). A run of more than one trial appends a
+  /// "-<protocol>-T<period>-r<rep>" suffix before the extension so each
+  /// trial gets its own file.
+  std::string trace_path;
 };
 
 /// Raw aggregates of one seeded simulation trial, in reduction order.
@@ -47,13 +53,16 @@ struct TrialStats {
   double energy_total = 0.0;
   double lifetime_slots = 0.0;
   bool all_covered = true;
+  bool truncated = false;
 };
 
 /// One simulation run of `protocol` under exactly `config` (duty and seed
 /// already set). Self-contained: safe to run concurrently with other trials.
+/// A non-empty `trace_path` attaches a TraceObserver writing JSONL there.
 [[nodiscard]] TrialStats run_trial(const topology::Topology& topo,
                                    const std::string& protocol,
-                                   const sim::SimConfig& config);
+                                   const sim::SimConfig& config,
+                                   const std::string& trace_path = {});
 
 /// Index-ordered reduction of per-repetition trials into a ProtocolPoint.
 /// delay_stddev is the population stddev of the per-trial mean delays,

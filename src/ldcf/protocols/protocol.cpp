@@ -11,14 +11,11 @@ void PendingSetProtocol::initialize(const SimContext& ctx) {
                "incomplete simulation context");
   ctx_ = &ctx;
   rng_.emplace(ctx.seed);
-  has_.assign(ctx.topo->num_nodes(),
-              std::vector<bool>(ctx.num_packets, false));
+  packet_stride_ = ctx.num_packets;
+  has_.assign(static_cast<std::size_t>(ctx.topo->num_nodes()) * packet_stride_,
+              0);
   buckets_.assign(ctx.topo->num_nodes(),
                   std::vector<std::vector<PendingEntry>>(ctx.duty.period));
-}
-
-bool PendingSetProtocol::node_has(NodeId node, PacketId packet) const {
-  return has_[node][packet];
 }
 
 void PendingSetProtocol::pend(NodeId node, PacketId packet, NodeId neighbor) {
@@ -75,13 +72,13 @@ void PendingSetProtocol::enqueue_forwarding(NodeId node, PacketId packet,
 }
 
 void PendingSetProtocol::on_generate(PacketId packet, SlotIndex /*slot*/) {
-  has_[ctx_->source][packet] = true;
+  has_[static_cast<std::size_t>(ctx_->source) * packet_stride_ + packet] = 1;
   enqueue_forwarding(ctx_->source, packet, kNoNode);
 }
 
 void PendingSetProtocol::on_delivery(NodeId receiver, PacketId packet,
                                      NodeId from, SlotIndex /*slot*/) {
-  has_[receiver][packet] = true;
+  has_[static_cast<std::size_t>(receiver) * packet_stride_ + packet] = 1;
   enqueue_forwarding(receiver, packet, from);
 }
 

@@ -54,7 +54,9 @@ class PendingSetProtocol : public FloodingProtocol {
   [[nodiscard]] Rng& rng() { return *rng_; }
 
   /// Local possession knowledge (exact mirror of engine deliveries).
-  [[nodiscard]] bool node_has(NodeId node, PacketId packet) const;
+  [[nodiscard]] bool node_has(NodeId node, PacketId packet) const {
+    return has_[static_cast<std::size_t>(node) * packet_stride_ + packet] != 0;
+  }
 
   /// Queue (packet -> neighbor) at `node`. No-op if already queued.
   void pend(NodeId node, PacketId packet, NodeId neighbor);
@@ -81,7 +83,11 @@ class PendingSetProtocol : public FloodingProtocol {
  private:
   const SimContext* ctx_ = nullptr;
   std::optional<Rng> rng_;
-  std::vector<std::vector<bool>> has_;  // [node][packet]
+  // Flat [node][packet] byte matrix: node_has is the hottest query the
+  // protocols make (every candidate scan hits it), so it must be one
+  // multiply-add and a byte load, not a vector<bool> bit gather.
+  std::vector<std::uint8_t> has_;
+  std::uint32_t packet_stride_ = 0;
   // buckets_[node][phase] -> pending entries for neighbors at that phase.
   std::vector<std::vector<std::vector<PendingEntry>>> buckets_;
 };

@@ -79,6 +79,10 @@ std::vector<NodeId> ScheduleSet::active_nodes(SlotIndex t) const {
   return nodes_by_slot_[t % duty_.period];
 }
 
+std::span<const NodeId> ScheduleSet::active_nodes_at(SlotIndex t) const {
+  return nodes_by_slot_[t % duty_.period];
+}
+
 double ScheduleSet::expected_sleep_latency() const {
   const auto t = static_cast<double>(period());
   const auto k = static_cast<double>(slots_per_period_);

@@ -65,6 +65,11 @@ class ScheduleSet {
   /// Nodes active in slot `t`, ascending by id.
   [[nodiscard]] std::vector<NodeId> active_nodes(SlotIndex t) const;
 
+  /// Allocation-free view of the nodes active in slot `t` (ascending by
+  /// id), valid as long as the ScheduleSet lives. The engine's slot loop
+  /// uses this to iterate the phase bucket without copying it.
+  [[nodiscard]] std::span<const NodeId> active_nodes_at(SlotIndex t) const;
+
   /// Expected sleep latency (slots) from a uniformly random instant to a
   /// node's next active slot. (T - 1) / 2 in the single-slot model; with k
   /// evenly spread slots roughly (T/k - 1) / 2.

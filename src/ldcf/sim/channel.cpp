@@ -1,73 +1,107 @@
 #include "ldcf/sim/channel.hpp"
 
-#include <algorithm>
-
 #include "ldcf/common/error.hpp"
 
 namespace ldcf::sim {
 
-SlotResolution resolve_slot(const topology::Topology& topo,
-                            const std::vector<TxIntent>& intents,
-                            const std::vector<NodeId>& active_receivers,
-                            const ChannelConfig& config, Rng& rng) {
-  SlotResolution out;
-  out.results.reserve(intents.size());
-  if (intents.empty()) return out;
+Channel::Channel(const topology::Topology& topo)
+    : topo_(topo),
+      transmitting_(topo.num_nodes(), 0),
+      intents_on_receiver_(topo.num_nodes(), 0),
+      rx_best_prr_(topo.num_nodes(), 0.0),
+      rx_second_prr_(topo.num_nodes(), 0.0),
+      rx_best_intent_(topo.num_nodes(), kNoIntent),
+      captured_(topo.num_nodes(), kNoIntent),
+      audible_count_(topo.num_nodes(), 0),
+      listen_best_prr_(topo.num_nodes(), 0.0),
+      listen_second_prr_(topo.num_nodes(), 0.0),
+      listen_best_intent_(topo.num_nodes(), kNoIntent),
+      listen_last_intent_(topo.num_nodes(), kNoIntent) {}
 
-  // Index helpers for this slot.
-  std::vector<bool> transmitting(topo.num_nodes(), false);
-  std::vector<std::uint32_t> intents_on_receiver(topo.num_nodes(), 0);
-  bool any_broadcast = false;
+void Channel::reset_scratch() {
+  // Cleared at the *start* of resolve so that a throw mid-slot (duplicate
+  // sender) leaves nothing the next call cannot recover from.
+  for (const NodeId n : tx_dirty_) transmitting_[n] = 0;
+  tx_dirty_.clear();
+  for (const NodeId r : rx_dirty_) {
+    intents_on_receiver_[r] = 0;
+    rx_best_prr_[r] = 0.0;
+    rx_second_prr_[r] = 0.0;
+    rx_best_intent_[r] = kNoIntent;
+    captured_[r] = kNoIntent;
+  }
+  rx_dirty_.clear();
+  for (const NodeId l : listen_dirty_) {
+    audible_count_[l] = 0;
+    listen_best_prr_[l] = 0.0;
+    listen_second_prr_[l] = 0.0;
+    listen_best_intent_[l] = kNoIntent;
+    listen_last_intent_[l] = kNoIntent;
+  }
+  listen_dirty_.clear();
+  broadcast_senders_.clear();
+}
+
+void Channel::resolve(std::span<const TxIntent> intents,
+                      std::span<const NodeId> active_receivers,
+                      const ChannelConfig& config, Rng& rng,
+                      SlotResolution& out) {
+  reset_scratch();
+  out.results.clear();
+  out.overhears.clear();
+  if (intents.empty()) return;
+  out.results.reserve(intents.size());
+
   for (const TxIntent& intent : intents) {
-    LDCF_CHECK(!transmitting[intent.sender],
+    LDCF_CHECK(!transmitting_[intent.sender],
                "a sender proposed two intents in one slot");
-    transmitting[intent.sender] = true;
+    tx_dirty_.push_back(intent.sender);
+    transmitting_[intent.sender] = 1;
     if (intent.is_broadcast()) {
-      any_broadcast = true;
+      broadcast_senders_.push_back(intent.sender);
     } else {
-      ++intents_on_receiver[intent.receiver];
+      if (intents_on_receiver_[intent.receiver] == 0) {
+        rx_dirty_.push_back(intent.receiver);
+      }
+      ++intents_on_receiver_[intent.receiver];
     }
   }
 
   // A broadcast audible at a unicast addressee is interference there.
   const auto broadcast_audible_at = [&](NodeId node) {
-    if (!any_broadcast) return false;
-    for (const TxIntent& intent : intents) {
-      if (intent.is_broadcast() && topo.has_link(intent.sender, node)) {
-        return true;
-      }
+    for (const NodeId sender : broadcast_senders_) {
+      if (topo_.has_link(sender, node)) return true;
     }
     return false;
   };
 
   // Capture pre-pass: for contested receivers, find the dominant unicast
   // (if any) that survives the overlap.
-  std::vector<const TxIntent*> captured(topo.num_nodes(), nullptr);
   if (config.collisions && config.capture_ratio > 0.0) {
-    std::vector<double> best(topo.num_nodes(), 0.0);
-    std::vector<double> second(topo.num_nodes(), 0.0);
-    std::vector<const TxIntent*> best_intent(topo.num_nodes(), nullptr);
-    for (const TxIntent& intent : intents) {
+    for (std::uint32_t i = 0; i < intents.size(); ++i) {
+      const TxIntent& intent = intents[i];
       if (intent.is_broadcast()) continue;
-      const double prr = topo.prr(intent.sender, intent.receiver).value_or(0.0);
-      if (prr > best[intent.receiver]) {
-        second[intent.receiver] = best[intent.receiver];
-        best[intent.receiver] = prr;
-        best_intent[intent.receiver] = &intent;
-      } else if (prr > second[intent.receiver]) {
-        second[intent.receiver] = prr;
+      const NodeId r = intent.receiver;
+      const double prr = topo_.prr(intent.sender, r).value_or(0.0);
+      if (prr > rx_best_prr_[r]) {
+        rx_second_prr_[r] = rx_best_prr_[r];
+        rx_best_prr_[r] = prr;
+        rx_best_intent_[r] = i;
+      } else if (prr > rx_second_prr_[r]) {
+        rx_second_prr_[r] = prr;
       }
     }
-    for (NodeId r = 0; r < topo.num_nodes(); ++r) {
-      if (intents_on_receiver[r] > 1 && best_intent[r] != nullptr &&
-          best[r] >= config.capture_ratio * second[r] &&
-          second[r] > 0.0) {
-        captured[r] = best_intent[r];
+    for (const NodeId r : rx_dirty_) {
+      if (intents_on_receiver_[r] > 1 && rx_best_intent_[r] != kNoIntent &&
+          rx_best_prr_[r] >= config.capture_ratio * rx_second_prr_[r] &&
+          rx_second_prr_[r] > 0.0) {
+        captured_[r] = rx_best_intent_[r];
       }
     }
   }
 
-  for (const TxIntent& intent : intents) {
+  for (std::uint32_t i = 0; i < intents.size(); ++i) {
+    const TxIntent& intent = intents[i];
     TxResult result;
     result.intent = intent;
     if (intent.is_broadcast()) {
@@ -75,16 +109,15 @@ SlotResolution resolve_slot(const topology::Topology& topo,
       out.results.push_back(result);
       continue;
     }
-    const bool survives_overlap =
-        intents_on_receiver[intent.receiver] <= 1 ||
-        captured[intent.receiver] == &intent;
-    if (transmitting[intent.receiver]) {
+    const bool survives_overlap = intents_on_receiver_[intent.receiver] <= 1 ||
+                                  captured_[intent.receiver] == i;
+    if (transmitting_[intent.receiver]) {
       result.outcome = TxOutcome::kReceiverBusy;
     } else if (config.collisions &&
                (!survives_overlap || broadcast_audible_at(intent.receiver))) {
       result.outcome = TxOutcome::kCollision;
     } else {
-      const auto prr = topo.prr(intent.sender, intent.receiver);
+      const auto prr = topo_.prr(intent.sender, intent.receiver);
       LDCF_CHECK(prr.has_value(), "intent over a non-existent link");
       result.outcome = rng.bernoulli(*prr * config.prr_scale)
                            ? TxOutcome::kDelivered
@@ -93,53 +126,103 @@ SlotResolution resolve_slot(const topology::Topology& topo,
     out.results.push_back(result);
   }
 
-  if (!config.overhearing && !any_broadcast) return out;
+  if (!config.overhearing && broadcast_senders_.empty()) return;
 
   // Listener pass: each active node that is neither transmitting nor the
   // addressee of a unicast can decode whatever it hears — an overheard
-  // unicast or a broadcast. Count audible transmissions; with capture off,
-  // exactly one audible decodes with the link PRR; with capture on, a
-  // dominant one may survive a crowd.
-  for (const NodeId listener : active_receivers) {
-    if (transmitting[listener]) continue;
-    if (intents_on_receiver[listener] > 0) continue;  // it is an addressee.
-    const TxIntent* best = nullptr;
-    const TxIntent* audible = nullptr;
-    double best_prr = 0.0;
-    double second_prr = 0.0;
-    std::uint32_t audible_count = 0;
-    for (const TxIntent& intent : intents) {
-      const auto prr = topo.prr(intent.sender, listener);
-      if (!prr.has_value()) continue;
-      ++audible_count;
-      audible = &intent;
-      if (*prr > best_prr) {
-        second_prr = best_prr;
-        best_prr = *prr;
-        best = &intent;
-      } else if (*prr > second_prr) {
-        second_prr = *prr;
+  // unicast or a broadcast. With capture off, exactly one audible
+  // transmission decodes with the link PRR; with capture on, a dominant one
+  // may survive a crowd.
+  //
+  // Two equivalent evaluation orders, chosen per slot by estimated work:
+  // scattering each transmission's neighborhood into per-listener stats is
+  // O(sum of sender degrees) and wins when many nodes listen (high duty);
+  // scanning the intents per active listener is O(active * intents) PRR
+  // lookups and wins in the sparse low-duty regime. Both accumulate the
+  // per-listener stats in intent order, so decodability and the RNG draw
+  // sequence are bit-identical either way.
+  std::size_t scatter_work = 0;
+  for (const TxIntent& intent : intents) {
+    scatter_work += topo_.neighbors(intent.sender).size();
+  }
+  const bool scatter = scatter_work < active_receivers.size() * intents.size();
+
+  if (scatter) {
+    for (std::uint32_t i = 0; i < intents.size(); ++i) {
+      for (const topology::Link& link : topo_.neighbors(intents[i].sender)) {
+        const NodeId l = link.to;
+        if (audible_count_[l] == 0) listen_dirty_.push_back(l);
+        ++audible_count_[l];
+        listen_last_intent_[l] = i;
+        if (link.prr > listen_best_prr_[l]) {
+          listen_second_prr_[l] = listen_best_prr_[l];
+          listen_best_prr_[l] = link.prr;
+          listen_best_intent_[l] = i;
+        } else if (link.prr > listen_second_prr_[l]) {
+          listen_second_prr_[l] = link.prr;
+        }
       }
     }
-    const TxIntent* decodable = nullptr;
-    if (audible_count == 1) {
-      decodable = audible;
-    } else if (audible_count > 1 && config.capture_ratio > 0.0 &&
-               best != nullptr && second_prr > 0.0 &&
-               best_prr >= config.capture_ratio * second_prr) {
-      decodable = best;  // capture: the dominant signal survives the crowd.
+  }
+
+  for (const NodeId listener : active_receivers) {
+    if (transmitting_[listener]) continue;
+    if (intents_on_receiver_[listener] > 0) continue;  // it is an addressee.
+    std::uint32_t audible_count = 0;
+    double best_prr = 0.0;
+    double second_prr = 0.0;
+    std::uint32_t best_intent = kNoIntent;
+    std::uint32_t last_intent = kNoIntent;
+    if (scatter) {
+      audible_count = audible_count_[listener];
+      best_prr = listen_best_prr_[listener];
+      second_prr = listen_second_prr_[listener];
+      best_intent = listen_best_intent_[listener];
+      last_intent = listen_last_intent_[listener];
+    } else {
+      for (std::uint32_t i = 0; i < intents.size(); ++i) {
+        const auto prr = topo_.prr(intents[i].sender, listener);
+        if (!prr.has_value()) continue;
+        ++audible_count;
+        last_intent = i;
+        if (*prr > best_prr) {
+          second_prr = best_prr;
+          best_prr = *prr;
+          best_intent = i;
+        } else if (*prr > second_prr) {
+          second_prr = *prr;
+        }
+      }
     }
-    if (decodable == nullptr) continue;
+    std::uint32_t decodable = kNoIntent;
+    if (audible_count == 1) {
+      decodable = last_intent;
+    } else if (audible_count > 1 && config.capture_ratio > 0.0 &&
+               best_intent != kNoIntent && second_prr > 0.0 &&
+               best_prr >= config.capture_ratio * second_prr) {
+      decodable = best_intent;  // capture: the dominant survives the crowd.
+    }
+    if (decodable == kNoIntent) continue;
+    const TxIntent& heard = intents[decodable];
     // Unicast overhearing only happens when the protocol listens
     // promiscuously; broadcasts are meant for everybody.
-    if (!decodable->is_broadcast() && !config.overhearing) continue;
+    if (!heard.is_broadcast() && !config.overhearing) continue;
     const double prr =
-        topo.prr(decodable->sender, listener).value() * config.prr_scale;
+        topo_.prr(heard.sender, listener).value() * config.prr_scale;
     if (rng.bernoulli(prr)) {
       out.overhears.push_back(
-          OverhearEvent{listener, decodable->sender, decodable->packet});
+          OverhearEvent{listener, heard.sender, heard.packet});
     }
   }
+}
+
+SlotResolution resolve_slot(const topology::Topology& topo,
+                            const std::vector<TxIntent>& intents,
+                            const std::vector<NodeId>& active_receivers,
+                            const ChannelConfig& config, Rng& rng) {
+  Channel channel(topo);
+  SlotResolution out;
+  channel.resolve(intents, active_receivers, config, rng, out);
   return out;
 }
 

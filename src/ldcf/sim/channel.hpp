@@ -13,6 +13,8 @@
 //    overhear attempt is itself a collision).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ldcf/common/rng.hpp"
@@ -44,9 +46,53 @@ struct SlotResolution {
   std::vector<OverhearEvent> overhears;
 };
 
-/// Resolve one slot's intents. `is_active(node)` must reflect the schedule;
-/// intents must already be validated (sender holds the packet, receiver is
-/// an active neighbor, at most one intent per sender).
+/// Stateful slot resolver. All node-indexed scratch arrays are allocated
+/// once at construction and recycled via dirty lists, so resolving a slot
+/// performs no heap allocations beyond growing the caller's output vectors
+/// to their steady-state capacity. One Channel serves one topology; calls
+/// are independent (no state carries over between slots).
+class Channel {
+ public:
+  explicit Channel(const topology::Topology& topo);
+
+  /// Resolve one slot's intents into `out` (cleared first; capacity is
+  /// reused). `active_receivers` must reflect the schedule; intents must
+  /// already be validated (sender holds the packet, receiver is an active
+  /// neighbor). Throws InternalError if a sender appears twice.
+  void resolve(std::span<const TxIntent> intents,
+               std::span<const NodeId> active_receivers,
+               const ChannelConfig& config, Rng& rng, SlotResolution& out);
+
+ private:
+  static constexpr std::uint32_t kNoIntent = 0xffffffffU;
+
+  void reset_scratch();
+
+  const topology::Topology& topo_;
+
+  // Sender/receiver-indexed scratch, recycled through the dirty lists.
+  std::vector<std::uint8_t> transmitting_;
+  std::vector<NodeId> tx_dirty_;
+  std::vector<std::uint32_t> intents_on_receiver_;  // unicast count.
+  std::vector<double> rx_best_prr_;                 // capture pre-pass.
+  std::vector<double> rx_second_prr_;
+  std::vector<std::uint32_t> rx_best_intent_;
+  std::vector<std::uint32_t> captured_;
+  std::vector<NodeId> rx_dirty_;
+
+  // Listener-indexed scratch for the overhearing/broadcast pass.
+  std::vector<std::uint32_t> audible_count_;
+  std::vector<double> listen_best_prr_;
+  std::vector<double> listen_second_prr_;
+  std::vector<std::uint32_t> listen_best_intent_;
+  std::vector<std::uint32_t> listen_last_intent_;
+  std::vector<NodeId> listen_dirty_;
+
+  std::vector<NodeId> broadcast_senders_;  // recomputed each slot.
+};
+
+/// Resolve one slot's intents. Compatibility wrapper over Channel for
+/// call sites that resolve occasionally; hot loops should hold a Channel.
 [[nodiscard]] SlotResolution resolve_slot(
     const topology::Topology& topo, const std::vector<TxIntent>& intents,
     const std::vector<NodeId>& active_receivers, const ChannelConfig& config,

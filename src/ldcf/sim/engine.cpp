@@ -1,0 +1,402 @@
+#include "ldcf/sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::sim {
+
+namespace {
+
+const SimConfig& validate_config(const topology::Topology& topo,
+                                 const SimConfig& config) {
+  LDCF_REQUIRE(config.num_packets >= 1, "need at least one packet");
+  LDCF_REQUIRE(config.packet_spacing >= 1, "packet spacing must be >= 1");
+  LDCF_REQUIRE(config.coverage_fraction > 0.0 &&
+                   config.coverage_fraction <= 1.0,
+               "coverage fraction must be in (0, 1]");
+  LDCF_REQUIRE(config.source < topo.num_nodes(), "source out of range");
+  for (const NodeFailure& f : config.perturbations.node_failures) {
+    LDCF_REQUIRE(f.node != config.source && f.node < topo.num_nodes(),
+                 "cannot kill the source or an out-of-range node");
+  }
+  return config;
+}
+
+// Substream derivation order is part of the determinism contract: the
+// master seed forks schedules first, then the channel, then the protocol
+// substream, exactly as the original run_simulation did.
+schedule::ScheduleSet build_schedules(const topology::Topology& topo,
+                                      const SimConfig& config, Rng& master) {
+  Rng schedule_rng(master.fork_seed());
+  return schedule::ScheduleSet(topo.num_nodes(), config.duty, schedule_rng,
+                               config.slots_per_period);
+}
+
+void validate_intents(const topology::Topology& topo,
+                      const PossessionState& possession,
+                      const schedule::ScheduleSet& schedules, SlotIndex slot,
+                      const std::vector<TxIntent>& intents) {
+  for (const TxIntent& intent : intents) {
+    LDCF_REQUIRE(intent.sender < topo.num_nodes(), "sender out of range");
+    LDCF_REQUIRE(possession.has(intent.sender, intent.packet),
+                 "sender does not hold the packet");
+    if (intent.is_broadcast()) continue;  // no addressee to validate.
+    LDCF_REQUIRE(intent.receiver < topo.num_nodes(),
+                 "intent receiver out of range");
+    LDCF_REQUIRE(intent.sender != intent.receiver,
+                 "intent sender == receiver");
+    LDCF_REQUIRE(topo.has_link(intent.sender, intent.receiver),
+                 "intent over a non-existent link");
+    LDCF_REQUIRE(schedules.is_active(intent.receiver, slot),
+                 "intent to a dormant receiver");
+  }
+}
+
+}  // namespace
+
+MetricsCollector::MetricsCollector(std::size_t num_nodes,
+                                   std::uint32_t num_packets,
+                                   std::uint64_t coverage_target) {
+  metrics.coverage_target = coverage_target;
+  metrics.packets.resize(num_packets);
+  for (PacketId p = 0; p < num_packets; ++p) {
+    metrics.packets[p].packet = p;
+  }
+  tally.active_slots.assign(num_nodes, 0);
+  tally.dormant_slots.assign(num_nodes, 0);
+  tally.tx_attempts.assign(num_nodes, 0);
+  tally.receptions.assign(num_nodes, 0);
+}
+
+void MetricsCollector::on_generate(PacketId packet, SlotIndex slot) {
+  metrics.packets[packet].generated_at = slot;
+}
+
+void MetricsCollector::on_tx_result(const TxResult& result, SlotIndex slot) {
+  ++metrics.channel.attempts;
+  ++tally.tx_attempts[result.intent.sender];
+  auto& rec = metrics.packets[result.intent.packet];
+  if (rec.first_tx_at == kNeverSlot) rec.first_tx_at = slot;
+  switch (result.outcome) {
+    case TxOutcome::kDelivered:
+      ++metrics.channel.delivered;
+      ++tally.receptions[result.intent.receiver];
+      if (result.duplicate) ++metrics.channel.duplicates;
+      break;
+    case TxOutcome::kLostChannel:
+      ++metrics.channel.losses;
+      break;
+    case TxOutcome::kCollision:
+      ++metrics.channel.collisions;
+      break;
+    case TxOutcome::kReceiverBusy:
+      ++metrics.channel.receiver_busy;
+      break;
+    case TxOutcome::kBroadcast:
+      ++metrics.channel.broadcasts;
+      break;
+    case TxOutcome::kSyncMiss:
+      ++metrics.channel.sync_misses;
+      break;
+  }
+}
+
+void MetricsCollector::on_delivery(NodeId /*node*/, PacketId packet,
+                                   NodeId /*from*/, bool overheard,
+                                   SlotIndex /*slot*/) {
+  ++metrics.packets[packet].deliveries;
+  if (overheard) ++metrics.channel.overhear_deliveries;
+}
+
+void MetricsCollector::on_overhear(NodeId listener, NodeId /*sender*/,
+                                   PacketId /*packet*/, bool /*fresh*/,
+                                   SlotIndex /*slot*/) {
+  ++tally.receptions[listener];
+}
+
+void MetricsCollector::on_packet_covered(PacketId packet,
+                                         SlotIndex covered_at) {
+  metrics.packets[packet].covered_at = covered_at;
+}
+
+SimEngine::SimEngine(const topology::Topology& topo, const SimConfig& config)
+    : topo_(topo),
+      config_(validate_config(topo, config)),
+      master_(config_.seed),
+      schedules_(build_schedules(topo, config_, master_)),
+      channel_seed_(master_.fork_seed()),
+      protocol_seed_(master_.fork_seed()),
+      deaths_(config_.perturbations.node_failures),
+      channel_(topo),
+      possession_(topo.num_nodes(), config_.num_packets, config_.source) {
+  // Coverage target: the 99% rule, clipped to what is actually reachable so
+  // a handful of isolated trace nodes cannot stall the run (paper §V-B).
+  const std::uint64_t reachable_sensors =
+      static_cast<std::uint64_t>(topo.reachable_count(config_.source)) - 1;
+  const auto requested = static_cast<std::uint64_t>(std::ceil(
+      config_.coverage_fraction * static_cast<double>(topo.num_sensors())));
+  coverage_target_ =
+      std::max<std::uint64_t>(1, std::min(requested, reachable_sensors));
+
+  std::sort(deaths_.begin(), deaths_.end(),
+            [](const NodeFailure& a, const NodeFailure& b) {
+              return a.at_slot < b.at_slot;
+            });
+  ws_.transmitting.assign(topo.num_nodes(), 0);
+}
+
+SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
+  MetricsCollector collector(topo_.num_nodes(), config_.num_packets,
+                             coverage_target_);
+  protocol_ = &protocol;
+  collector_ = &collector;
+  observer_ = observer;
+
+  // Per-run state: everything derives from the seeds captured at
+  // construction, so repeated runs replay the identical simulation.
+  channel_rng_ = Rng(channel_seed_);
+  channel_config_ = ChannelConfig{
+      /*collisions=*/!protocol.collision_free_oracle(),
+      /*overhearing=*/protocol.wants_overhearing(),
+      /*prr_scale=*/1.0,
+      /*capture_ratio=*/config_.capture_ratio};
+  possession_.reset();
+  dead_.assign(topo_.num_nodes(), 0);
+  next_death_ = 0;
+  alive_sensors_ = topo_.num_sensors();
+  dead_holders_.assign(config_.num_packets, 0);
+  covered_.assign(config_.num_packets, 0);
+  uncovered_.clear();
+  uncovered_.reserve(config_.num_packets);
+  covered_count_ = 0;
+  generated_ = 0;
+
+  SimContext ctx;
+  ctx.topo = &topo_;
+  ctx.schedules = &schedules_;
+  ctx.duty = config_.duty;
+  ctx.num_packets = config_.num_packets;
+  ctx.seed = protocol_seed_;
+  ctx.source = config_.source;
+  protocol.initialize(ctx);
+
+  SlotIndex t = 0;
+  for (; covered_count_ < config_.num_packets; ++t) {
+    if (t >= config_.max_slots) break;  // liveness guard; truncated=true.
+    stage_faults(t);
+    const std::span<const NodeId> active = stage_active(t);
+    notify([&](auto& o) { o.on_slot_begin(t, active); });
+    stage_generation(t);
+    stage_intents(t, active);
+    stage_sync_miss();
+    stage_channel(active);
+    stage_energy(active);
+    stage_apply(t);
+    stage_coverage(t);
+  }
+
+  collector.metrics.end_slot = t;
+  collector.metrics.all_covered = covered_count_ == config_.num_packets;
+  collector.metrics.truncated =
+      !collector.metrics.all_covered && t >= config_.max_slots;
+
+  // Dormant slots: everything a node did not spend listening or sending.
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    const std::uint64_t busy =
+        collector.tally.active_slots[n] + collector.tally.tx_attempts[n];
+    collector.tally.dormant_slots[n] = t > busy ? t - busy : 0;
+  }
+
+  SimResult out;
+  out.metrics = std::move(collector.metrics);
+  out.tally = std::move(collector.tally);
+  out.energy = compute_energy(out.tally, config_.energy);
+  if (observer_ != nullptr) observer_->on_run_end(out);
+
+  protocol_ = nullptr;
+  collector_ = nullptr;
+  observer_ = nullptr;
+  return out;
+}
+
+// Fault injection due this slot. Dead nodes stop receiving/transmitting;
+// copies they already held keep counting toward coverage. The burst
+// perturbation rides along here because both feed the channel config.
+void SimEngine::stage_faults(SlotIndex t) {
+  while (next_death_ < deaths_.size() && deaths_[next_death_].at_slot <= t) {
+    const NodeId victim = deaths_[next_death_++].node;
+    if (dead_[victim]) continue;
+    dead_[victim] = 1;
+    --alive_sensors_;
+    for (PacketId p = 0; p < config_.num_packets; ++p) {
+      if (possession_.has(victim, p)) ++dead_holders_[p];
+    }
+  }
+  channel_config_.prr_scale =
+      (config_.perturbations.burst && config_.perturbations.burst->active_at(t))
+          ? config_.perturbations.burst->prr_scale
+          : 1.0;
+}
+
+// This slot's receivers: the schedule's phase bucket, viewed in place until
+// the first death forces a filtered copy into the workspace.
+std::span<const NodeId> SimEngine::stage_active(SlotIndex t) {
+  const std::span<const NodeId> bucket = schedules_.active_nodes_at(t);
+  if (next_death_ == 0) return bucket;
+  ws_.active.assign(bucket.begin(), bucket.end());
+  std::erase_if(ws_.active, [&](NodeId n) { return dead_[n] != 0; });
+  return ws_.active;
+}
+
+// Packet generation (one every packet_spacing slots).
+void SimEngine::stage_generation(SlotIndex t) {
+  while (generated_ < config_.num_packets &&
+         static_cast<SlotIndex>(generated_) * config_.packet_spacing == t) {
+    const PacketId p = generated_++;
+    uncovered_.push_back(p);
+    possession_.deliver(config_.source, p);
+    notify([&](auto& o) { o.on_generate(p, t); });
+    protocol_->on_generate(p, t);
+  }
+}
+
+// Ask the protocol for this slot's unicasts. Protocols do not learn about
+// deaths (nodes fail silently in the field), so intents touching dead nodes
+// are expected: a dead sender stays silent, a unicast to a dead receiver is
+// transmitted and lost (a "ghost" intent).
+void SimEngine::stage_intents(SlotIndex t, std::span<const NodeId> active) {
+  ws_.intents.clear();
+  ws_.ghosts.clear();
+  protocol_->propose_transmissions(t, active, ws_.intents);
+  if (next_death_ > 0) {
+    std::erase_if(ws_.intents, [&](const TxIntent& intent) {
+      return dead_[intent.sender] != 0;
+    });
+    std::erase_if(ws_.intents, [&](const TxIntent& intent) {
+      if (intent.is_broadcast() || dead_[intent.receiver] == 0) return false;
+      ws_.ghosts.push_back(intent);
+      return true;
+    });
+  }
+  validate_intents(topo_, possession_, schedules_, t, ws_.intents);
+}
+
+// Imperfect local synchronization: with probability sync_miss_prob a
+// unicast fires at a stale wakeup estimate and hits a sleeping radio. The
+// transmission still costs energy and the sender retries later.
+void SimEngine::stage_sync_miss() {
+  ws_.sync_missed.clear();
+  if (config_.sync_miss_prob <= 0.0) return;
+  std::erase_if(ws_.intents, [&](const TxIntent& intent) {
+    if (intent.is_broadcast()) return false;
+    if (!channel_rng_.bernoulli(config_.sync_miss_prob)) return false;
+    ws_.sync_missed.push_back(intent);
+    return true;
+  });
+}
+
+// Channel resolution, then append the results the channel never saw: sync
+// misses first, then ghost unicasts (both count as attempts downstream).
+void SimEngine::stage_channel(std::span<const NodeId> active) {
+  channel_.resolve(ws_.intents, active, channel_config_, channel_rng_,
+                   ws_.resolution);
+  for (const TxIntent& intent : ws_.sync_missed) {
+    TxResult missed;
+    missed.intent = intent;
+    missed.outcome = TxOutcome::kSyncMiss;
+    ws_.resolution.results.push_back(missed);
+  }
+  for (const TxIntent& intent : ws_.ghosts) {
+    TxResult lost;
+    lost.intent = intent;
+    lost.outcome = TxOutcome::kLostChannel;
+    ws_.resolution.results.push_back(lost);
+  }
+}
+
+// Energy tally: transmitters pay tx (counted per attempt by the collector);
+// active non-transmitters pay a listening slot. Ghost senders deliberately
+// stay unmarked, matching the original accounting.
+void SimEngine::stage_energy(std::span<const NodeId> active) {
+  for (const TxIntent& intent : ws_.intents) {
+    ws_.transmitting[intent.sender] = 1;
+  }
+  for (const TxIntent& intent : ws_.sync_missed) {
+    ws_.transmitting[intent.sender] = 1;
+  }
+  for (const NodeId n : active) {
+    if (!ws_.transmitting[n]) collector_->note_listen(n);
+  }
+  for (const TxIntent& intent : ws_.intents) {
+    ws_.transmitting[intent.sender] = 0;
+  }
+  for (const TxIntent& intent : ws_.sync_missed) {
+    ws_.transmitting[intent.sender] = 0;
+  }
+}
+
+// Apply results: settle possession, stream events to the observers, and
+// feed the protocol its link-layer view (on_delivery before on_outcome for
+// a fresh copy, exactly as before).
+void SimEngine::stage_apply(SlotIndex t) {
+  for (const TxResult& raw : ws_.resolution.results) {
+    TxResult result = raw;
+    bool fresh = false;
+    if (result.outcome == TxOutcome::kDelivered) {
+      fresh = possession_.deliver(result.intent.receiver, result.intent.packet);
+      result.duplicate = !fresh;
+    }
+    notify([&](auto& o) { o.on_tx_result(result, t); });
+    if (fresh) {
+      notify([&](auto& o) {
+        o.on_delivery(result.intent.receiver, result.intent.packet,
+                      result.intent.sender, /*overheard=*/false, t);
+      });
+      protocol_->on_delivery(result.intent.receiver, result.intent.packet,
+                             result.intent.sender, t);
+    }
+    protocol_->on_outcome(result, t);
+  }
+  for (const OverhearEvent& ev : ws_.resolution.overhears) {
+    const bool fresh = possession_.deliver(ev.listener, ev.packet);
+    notify([&](auto& o) {
+      o.on_overhear(ev.listener, ev.sender, ev.packet, fresh, t);
+    });
+    if (fresh) {
+      notify([&](auto& o) {
+        o.on_delivery(ev.listener, ev.packet, ev.sender, /*overheard=*/true,
+                      t);
+      });
+      protocol_->on_delivery(ev.listener, ev.packet, ev.sender, t);
+    }
+    protocol_->on_overhear(ev.listener, ev.sender, ev.packet, t);
+  }
+}
+
+// Coverage bookkeeping (possession counts are end-of-slot). Nodes that died
+// without a packet can never receive it, so the requirement clamps to what
+// is still achievable: live sensors plus copies that reached now-dead
+// sensors in time.
+void SimEngine::stage_coverage(SlotIndex t) {
+  // Only packets still in flight are scanned; the list stays in ascending
+  // packet order (stable compaction) so on_packet_covered fires in the same
+  // order a full 0..generated_ sweep would produce.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < uncovered_.size(); ++i) {
+    const PacketId p = uncovered_[i];
+    const std::uint64_t achievable = alive_sensors_ + dead_holders_[p];
+    const std::uint64_t required = std::min(coverage_target_, achievable);
+    if (possession_.sensor_holders(p) >= required) {
+      covered_[p] = 1;
+      ++covered_count_;
+      notify([&](auto& o) { o.on_packet_covered(p, t + 1); });
+    } else {
+      uncovered_[keep++] = p;
+    }
+  }
+  uncovered_.resize(keep);
+}
+
+}  // namespace ldcf::sim

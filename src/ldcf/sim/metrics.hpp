@@ -68,6 +68,7 @@ struct RunMetrics {
   ChannelCounters channel;
   SlotIndex end_slot = 0;       ///< first slot after the run stopped.
   bool all_covered = false;     ///< every packet reached the coverage target.
+  bool truncated = false;       ///< stopped by the max_slots liveness guard.
   std::uint64_t coverage_target = 0;  ///< sensors needed per packet.
 
   /// Mean total delay over covered packets.

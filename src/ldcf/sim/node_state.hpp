@@ -8,7 +8,9 @@
 
 namespace ldcf::sim {
 
-/// Dense possession matrix with per-packet holder counts.
+/// Dense possession matrix with per-packet holder counts, backed by a flat
+/// packed bitset (one word = 64 node-packet cells) so deliver/has are a
+/// word index + mask away and reset() is a plain memset-style fill.
 class PossessionState {
  public:
   PossessionState(std::size_t num_nodes, std::uint32_t num_packets,
@@ -25,6 +27,10 @@ class PossessionState {
   /// Number of nominal sensors (excl. the source) holding `packet`.
   [[nodiscard]] std::uint64_t sensor_holders(PacketId packet) const;
 
+  /// Forget every delivery (all counts back to zero), keeping the storage
+  /// allocated. Lets an engine reuse one instance across runs.
+  void reset();
+
   [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
   [[nodiscard]] std::uint32_t num_packets() const { return num_packets_; }
 
@@ -36,7 +42,7 @@ class PossessionState {
   std::size_t num_nodes_;
   std::uint32_t num_packets_;
   NodeId source_;
-  std::vector<bool> has_;                     // packet-major.
+  std::vector<std::uint64_t> bits_;           // packet-major, 64 cells/word.
   std::vector<std::uint64_t> holders_;        // per packet.
   std::vector<std::uint64_t> sensor_holders_; // per packet, excl. source.
 };

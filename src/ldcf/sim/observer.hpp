@@ -1,0 +1,65 @@
+// Observation layer for the simulation engine.
+//
+// The engine owns simulation truth; observers watch it happen. Every metric
+// the engine reports is itself collected through this interface (see
+// MetricsCollector in engine.hpp), which keeps the slot loop free of
+// hard-wired bookkeeping and lets callers attach their own instrumentation
+// (e.g. TraceObserver) without touching the hot path: all hooks default to
+// no-ops, so an observer pays only for what it overrides.
+//
+// Hook order within one slot: on_slot_begin -> on_generate* ->
+// (per result: on_tx_result, then on_delivery for a fresh unicast copy) ->
+// (per overhear: on_overhear, then on_delivery for a fresh copy) ->
+// on_packet_covered*. on_run_end fires once, after the final metrics are
+// assembled.
+#pragma once
+
+#include <span>
+
+#include "ldcf/common/types.hpp"
+#include "ldcf/sim/flooding_protocol.hpp"
+
+namespace ldcf::sim {
+
+struct SimResult;
+
+/// Passive listener on one engine run. Hooks are called synchronously from
+/// the slot loop; implementations must not mutate simulation state.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// Slot `slot` starts; `active` lists the nodes able to receive in it.
+  virtual void on_slot_begin(SlotIndex /*slot*/,
+                             std::span<const NodeId> /*active*/) {}
+
+  /// `packet` became available at the source in `slot`.
+  virtual void on_generate(PacketId /*packet*/, SlotIndex /*slot*/) {}
+
+  /// The channel resolved one transmission attempt (including sync misses
+  /// and transmissions to failed nodes). For kDelivered results the
+  /// duplicate flag is already final.
+  virtual void on_tx_result(const TxResult& /*result*/, SlotIndex /*slot*/) {}
+
+  /// `node` obtained its first copy of `packet` from `from`; `overheard`
+  /// distinguishes promiscuous/broadcast decodes from addressed unicasts.
+  virtual void on_delivery(NodeId /*node*/, PacketId /*packet*/,
+                           NodeId /*from*/, bool /*overheard*/,
+                           SlotIndex /*slot*/) {}
+
+  /// `listener` decoded a transmission addressed to someone else; `fresh`
+  /// says whether the copy was new to it.
+  virtual void on_overhear(NodeId /*listener*/, NodeId /*sender*/,
+                           PacketId /*packet*/, bool /*fresh*/,
+                           SlotIndex /*slot*/) {}
+
+  /// `packet` reached the coverage target at the end of the slot;
+  /// `covered_at` is the first slot by which coverage held.
+  virtual void on_packet_covered(PacketId /*packet*/,
+                                 SlotIndex /*covered_at*/) {}
+
+  /// The run finished; `result` is the final, fully assembled result.
+  virtual void on_run_end(const SimResult& /*result*/) {}
+};
+
+}  // namespace ldcf::sim

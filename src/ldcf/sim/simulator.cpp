@@ -1,290 +1,12 @@
 #include "ldcf/sim/simulator.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "ldcf/common/error.hpp"
-#include "ldcf/schedule/working_schedule.hpp"
-
 namespace ldcf::sim {
 
-namespace {
-
-void validate_intents(const topology::Topology& topo,
-                      const PossessionState& possession,
-                      const schedule::ScheduleSet& schedules, SlotIndex slot,
-                      const std::vector<TxIntent>& intents) {
-  for (const TxIntent& intent : intents) {
-    LDCF_REQUIRE(intent.sender < topo.num_nodes(), "sender out of range");
-    LDCF_REQUIRE(possession.has(intent.sender, intent.packet),
-                 "sender does not hold the packet");
-    if (intent.is_broadcast()) continue;  // no addressee to validate.
-    LDCF_REQUIRE(intent.receiver < topo.num_nodes(),
-                 "intent receiver out of range");
-    LDCF_REQUIRE(intent.sender != intent.receiver,
-                 "intent sender == receiver");
-    LDCF_REQUIRE(topo.has_link(intent.sender, intent.receiver),
-                 "intent over a non-existent link");
-    LDCF_REQUIRE(schedules.is_active(intent.receiver, slot),
-                 "intent to a dormant receiver");
-  }
-}
-
-}  // namespace
-
 SimResult run_simulation(const topology::Topology& topo,
-                         const SimConfig& config, FloodingProtocol& protocol) {
-  LDCF_REQUIRE(config.num_packets >= 1, "need at least one packet");
-  LDCF_REQUIRE(config.packet_spacing >= 1, "packet spacing must be >= 1");
-  LDCF_REQUIRE(config.coverage_fraction > 0.0 &&
-                   config.coverage_fraction <= 1.0,
-               "coverage fraction must be in (0, 1]");
-
-  Rng master(config.seed);
-  Rng schedule_rng(master.fork_seed());
-  Rng channel_rng(master.fork_seed());
-
-  const schedule::ScheduleSet schedules(topo.num_nodes(), config.duty,
-                                        schedule_rng,
-                                        config.slots_per_period);
-
-  LDCF_REQUIRE(config.source < topo.num_nodes(), "source out of range");
-
-  SimContext ctx;
-  ctx.topo = &topo;
-  ctx.schedules = &schedules;
-  ctx.duty = config.duty;
-  ctx.num_packets = config.num_packets;
-  ctx.seed = master.fork_seed();
-  ctx.source = config.source;
-  protocol.initialize(ctx);
-
-  PossessionState possession(topo.num_nodes(), config.num_packets,
-                             config.source);
-
-  // Coverage target: the 99% rule, clipped to what is actually reachable so
-  // a handful of isolated trace nodes cannot stall the run (paper §V-B).
-  const std::uint64_t reachable_sensors =
-      static_cast<std::uint64_t>(topo.reachable_count(config.source)) - 1;
-  const auto requested = static_cast<std::uint64_t>(std::ceil(
-      config.coverage_fraction * static_cast<double>(topo.num_sensors())));
-  const std::uint64_t coverage_target =
-      std::max<std::uint64_t>(1, std::min(requested, reachable_sensors));
-
-  SimResult out;
-  out.metrics.coverage_target = coverage_target;
-  out.metrics.packets.resize(config.num_packets);
-  for (PacketId p = 0; p < config.num_packets; ++p) {
-    out.metrics.packets[p].packet = p;
-  }
-  out.tally.active_slots.assign(topo.num_nodes(), 0);
-  out.tally.dormant_slots.assign(topo.num_nodes(), 0);
-  out.tally.tx_attempts.assign(topo.num_nodes(), 0);
-  out.tally.receptions.assign(topo.num_nodes(), 0);
-
-  ChannelConfig channel_config{
-      /*collisions=*/!protocol.collision_free_oracle(),
-      /*overhearing=*/protocol.wants_overhearing(),
-      /*prr_scale=*/1.0,
-      /*capture_ratio=*/config.capture_ratio};
-
-  // Fault injection state. Dead nodes stop receiving/transmitting; copies
-  // they already held keep counting toward coverage.
-  std::vector<NodeFailure> deaths = config.perturbations.node_failures;
-  std::sort(deaths.begin(), deaths.end(),
-            [](const NodeFailure& a, const NodeFailure& b) {
-              return a.at_slot < b.at_slot;
-            });
-  for (const NodeFailure& f : deaths) {
-    LDCF_REQUIRE(f.node != config.source && f.node < topo.num_nodes(),
-                 "cannot kill the source or an out-of-range node");
-  }
-  std::vector<bool> dead(topo.num_nodes(), false);
-  std::size_t next_death = 0;
-  std::uint64_t alive_sensors = topo.num_sensors();
-  std::vector<std::uint64_t> dead_holders(config.num_packets, 0);
-
-  std::uint32_t generated = 0;
-  std::uint64_t covered = 0;
-  std::vector<TxIntent> intents;
-
-  SlotIndex t = 0;
-  for (; covered < config.num_packets; ++t) {
-    if (t >= config.max_slots) break;  // liveness guard; all_covered=false.
-
-    // 0. Fault injection due this slot.
-    while (next_death < deaths.size() && deaths[next_death].at_slot <= t) {
-      const NodeId victim = deaths[next_death++].node;
-      if (dead[victim]) continue;
-      dead[victim] = true;
-      --alive_sensors;
-      for (PacketId p = 0; p < config.num_packets; ++p) {
-        if (possession.has(victim, p)) ++dead_holders[p];
-      }
-    }
-    channel_config.prr_scale =
-        (config.perturbations.burst && config.perturbations.burst->active_at(t))
-            ? config.perturbations.burst->prr_scale
-            : 1.0;
-
-    // 1. Packet generation (one every packet_spacing slots).
-    while (generated < config.num_packets &&
-           static_cast<SlotIndex>(generated) * config.packet_spacing == t) {
-      const PacketId p = generated++;
-      possession.deliver(config.source, p);
-      out.metrics.packets[p].generated_at = t;
-      protocol.on_generate(p, t);
-    }
-
-    // 2. Ask the protocol for this slot's unicasts. Protocols do not learn
-    // about deaths (nodes fail silently in the field), so intents touching
-    // dead nodes are expected: a dead sender stays silent, a unicast to a
-    // dead receiver is transmitted and lost.
-    std::vector<NodeId> active = schedules.active_nodes(t);
-    if (next_death > 0) {
-      std::erase_if(active, [&](NodeId n) { return dead[n]; });
-    }
-    intents.clear();
-    protocol.propose_transmissions(t, active, intents);
-    std::vector<TxIntent> ghost_receiver_intents;
-    if (next_death > 0) {
-      std::erase_if(intents, [&](const TxIntent& intent) {
-        return dead[intent.sender];
-      });
-      std::erase_if(intents, [&](const TxIntent& intent) {
-        if (intent.is_broadcast() || !dead[intent.receiver]) return false;
-        ghost_receiver_intents.push_back(intent);
-        return true;
-      });
-    }
-    validate_intents(topo, possession, schedules, t, intents);
-
-    // 2b. Imperfect local synchronization: with probability sync_miss_prob
-    // a unicast fires at a stale wakeup estimate and hits a sleeping radio.
-    // The transmission still costs energy and the sender retries later.
-    std::vector<TxIntent> sync_missed;
-    if (config.sync_miss_prob > 0.0) {
-      std::erase_if(intents, [&](const TxIntent& intent) {
-        if (intent.is_broadcast()) return false;
-        if (!channel_rng.bernoulli(config.sync_miss_prob)) return false;
-        sync_missed.push_back(intent);
-        return true;
-      });
-    }
-
-    // 3. Channel resolution.
-    SlotResolution resolution =
-        resolve_slot(topo, intents, active, channel_config, channel_rng);
-    for (const TxIntent& intent : sync_missed) {
-      TxResult missed;
-      missed.intent = intent;
-      missed.outcome = TxOutcome::kSyncMiss;
-      resolution.results.push_back(missed);
-      ++out.tally.tx_attempts[intent.sender];
-      auto& rec = out.metrics.packets[intent.packet];
-      if (rec.first_tx_at == kNeverSlot) rec.first_tx_at = t;
-    }
-    for (const TxIntent& intent : ghost_receiver_intents) {
-      TxResult lost;
-      lost.intent = intent;
-      lost.outcome = TxOutcome::kLostChannel;
-      resolution.results.push_back(lost);
-      ++out.tally.tx_attempts[intent.sender];
-      auto& rec = out.metrics.packets[intent.packet];
-      if (rec.first_tx_at == kNeverSlot) rec.first_tx_at = t;
-    }
-
-    // 4. Energy tally: transmitters pay tx; active non-transmitters listen.
-    std::vector<bool> transmitting(topo.num_nodes(), false);
-    for (const TxIntent& intent : intents) {
-      transmitting[intent.sender] = true;
-      ++out.tally.tx_attempts[intent.sender];
-      auto& rec = out.metrics.packets[intent.packet];
-      if (rec.first_tx_at == kNeverSlot) rec.first_tx_at = t;
-    }
-    for (const TxIntent& intent : sync_missed) {
-      transmitting[intent.sender] = true;  // tx already tallied above.
-    }
-    for (const NodeId n : active) {
-      if (!transmitting[n]) ++out.tally.active_slots[n];
-    }
-
-    // 5. Apply results.
-    for (const TxResult& raw : resolution.results) {
-      TxResult result = raw;
-      ++out.metrics.channel.attempts;
-      switch (result.outcome) {
-        case TxOutcome::kDelivered: {
-          ++out.metrics.channel.delivered;
-          ++out.tally.receptions[result.intent.receiver];
-          const bool fresh =
-              possession.deliver(result.intent.receiver, result.intent.packet);
-          result.duplicate = !fresh;
-          if (fresh) {
-            ++out.metrics.packets[result.intent.packet].deliveries;
-            protocol.on_delivery(result.intent.receiver, result.intent.packet,
-                                 result.intent.sender, t);
-          } else {
-            ++out.metrics.channel.duplicates;
-          }
-          break;
-        }
-        case TxOutcome::kLostChannel:
-          ++out.metrics.channel.losses;
-          break;
-        case TxOutcome::kCollision:
-          ++out.metrics.channel.collisions;
-          break;
-        case TxOutcome::kReceiverBusy:
-          ++out.metrics.channel.receiver_busy;
-          break;
-        case TxOutcome::kBroadcast:
-          ++out.metrics.channel.broadcasts;
-          break;
-        case TxOutcome::kSyncMiss:
-          ++out.metrics.channel.sync_misses;
-          break;
-      }
-      protocol.on_outcome(result, t);
-    }
-    for (const OverhearEvent& ev : resolution.overhears) {
-      ++out.tally.receptions[ev.listener];
-      const bool fresh = possession.deliver(ev.listener, ev.packet);
-      if (fresh) {
-        ++out.metrics.channel.overhear_deliveries;
-        ++out.metrics.packets[ev.packet].deliveries;
-        protocol.on_delivery(ev.listener, ev.packet, ev.sender, t);
-      }
-      protocol.on_overhear(ev.listener, ev.sender, ev.packet, t);
-    }
-
-    // 6. Coverage bookkeeping (possession counts are end-of-slot). Nodes
-    // that died without a packet can never receive it, so the requirement
-    // clamps to what is still achievable: live sensors plus copies that
-    // reached now-dead sensors in time.
-    for (PacketId p = 0; p < generated; ++p) {
-      auto& rec = out.metrics.packets[p];
-      const std::uint64_t achievable = alive_sensors + dead_holders[p];
-      const std::uint64_t required = std::min(coverage_target, achievable);
-      if (rec.covered_at == kNeverSlot &&
-          possession.sensor_holders(p) >= required) {
-        rec.covered_at = t + 1;
-        ++covered;
-      }
-    }
-  }
-
-  out.metrics.end_slot = t;
-  out.metrics.all_covered = covered == config.num_packets;
-
-  // Dormant slots: everything a node did not spend listening or sending.
-  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
-    const std::uint64_t busy =
-        out.tally.active_slots[n] + out.tally.tx_attempts[n];
-    out.tally.dormant_slots[n] = t > busy ? t - busy : 0;
-  }
-  out.energy = compute_energy(out.tally, config.energy);
-  return out;
+                         const SimConfig& config, FloodingProtocol& protocol,
+                         SimObserver* observer) {
+  SimEngine engine(topo, config);
+  return engine.run(protocol, observer);
 }
 
 }  // namespace ldcf::sim

@@ -1,59 +1,25 @@
-// The slot-stepped low-duty-cycle flooding simulator.
+// The slot-stepped low-duty-cycle flooding simulator — compatibility entry
+// point over SimEngine (engine.hpp), which owns the staged slot loop:
 //
-// Per slot: (1) generate due packets at the source, (2) ask the protocol for
-// this slot's unicasts, (3) validate them against the model rules, (4) have
-// the channel resolve loss/collision/overhearing, (5) apply deliveries and
-// feed outcomes back to the protocol, (6) update metrics and stop once every
-// packet reached the coverage target.
+//   faults -> generation -> intent collection -> sync-miss -> channel
+//          -> energy -> apply -> coverage
 //
 // The run is fully deterministic given (topology, config.seed): schedules,
 // channel draws and protocol substreams all derive from the one seed.
 #pragma once
 
-#include <memory>
-
-#include "ldcf/common/rng.hpp"
-#include "ldcf/common/types.hpp"
-#include "ldcf/sim/channel.hpp"
-#include "ldcf/sim/energy.hpp"
-#include "ldcf/sim/flooding_protocol.hpp"
-#include "ldcf/sim/metrics.hpp"
-#include "ldcf/sim/node_state.hpp"
-#include "ldcf/sim/perturbation.hpp"
-#include "ldcf/topology/topology.hpp"
+#include "ldcf/sim/engine.hpp"
 
 namespace ldcf::sim {
 
-struct SimConfig {
-  DutyCycle duty{20};                  ///< default: 5% duty cycle.
-  std::uint32_t slots_per_period = 1;  ///< active slots per period (k/T duty).
-  NodeId source = 0;                   ///< flooding source node.
-  std::uint32_t num_packets = 100;     ///< M (paper default).
-  std::uint32_t packet_spacing = 1;    ///< slots between generations.
-  double coverage_fraction = 0.99;     ///< paper's 99% delivery rule.
-  std::uint64_t seed = 1;
-  std::uint64_t max_slots = 10'000'000;  ///< safety stop.
-  EnergyModel energy{};
-  Perturbations perturbations{};  ///< fault/dynamics injection (default none).
-  /// Capture effect threshold (see ChannelConfig::capture_ratio); 0 = off.
-  double capture_ratio = 0.0;
-  /// Imperfect local synchronization: probability that a unicast misses the
-  /// receiver's wakeup because the sender's schedule estimate drifted
-  /// (paper §III-B assumes 0; [26][27] motivate small non-zero values).
-  double sync_miss_prob = 0.0;
-};
-
-struct SimResult {
-  RunMetrics metrics;
-  EnergyReport energy;
-  ActivityTally tally;
-};
-
-/// Run `protocol` over `topo` under `config`. Throws InvalidArgument on a
-/// malformed intent (non-link, inactive receiver, sender without the
-/// packet, duplicate sender) — protocol bugs should fail loudly.
+/// Run `protocol` over `topo` under `config`; equivalent to constructing a
+/// SimEngine and calling run() once. Throws InvalidArgument on a malformed
+/// intent (non-link, inactive receiver, sender without the packet,
+/// duplicate sender) — protocol bugs should fail loudly. `observer`, when
+/// non-null, receives every engine event (see observer.hpp).
 [[nodiscard]] SimResult run_simulation(const topology::Topology& topo,
                                        const SimConfig& config,
-                                       FloodingProtocol& protocol);
+                                       FloodingProtocol& protocol,
+                                       SimObserver* observer = nullptr);
 
 }  // namespace ldcf::sim

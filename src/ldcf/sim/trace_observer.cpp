@@ -1,0 +1,227 @@
+#include "ldcf/sim/trace_observer.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/sim/engine.hpp"
+
+namespace ldcf::sim {
+
+namespace {
+
+const char* outcome_name(TxOutcome outcome) {
+  switch (outcome) {
+    case TxOutcome::kDelivered:
+      return "delivered";
+    case TxOutcome::kLostChannel:
+      return "lost";
+    case TxOutcome::kCollision:
+      return "collision";
+    case TxOutcome::kReceiverBusy:
+      return "busy";
+    case TxOutcome::kBroadcast:
+      return "broadcast";
+    case TxOutcome::kSyncMiss:
+      return "sync_miss";
+  }
+  return "?";
+}
+
+const char* bool_name(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+TraceObserver::TraceObserver(std::ostream& out, bool include_idle_slots)
+    : out_(out), include_idle_slots_(include_idle_slots) {}
+
+TraceObserver::TraceObserver(const std::string& path, bool include_idle_slots)
+    : file_(path, std::ios::trunc),
+      out_(file_),
+      include_idle_slots_(include_idle_slots) {
+  LDCF_REQUIRE(file_.is_open(), "cannot open trace file: " + path);
+}
+
+void TraceObserver::flush_pending_slot() {
+  if (!slot_pending_) return;
+  slot_pending_ = false;
+  out_ << "{\"event\":\"slot_begin\",\"slot\":" << pending_slot_
+       << ",\"active\":" << pending_active_ << "}\n";
+}
+
+void TraceObserver::on_slot_begin(SlotIndex slot,
+                                  std::span<const NodeId> active) {
+  pending_slot_ = slot;
+  pending_active_ = active.size();
+  if (include_idle_slots_) {
+    slot_pending_ = true;
+    flush_pending_slot();
+  } else {
+    slot_pending_ = true;  // written lazily, once the slot proves non-idle.
+  }
+}
+
+void TraceObserver::on_generate(PacketId packet, SlotIndex slot) {
+  flush_pending_slot();
+  out_ << "{\"event\":\"generate\",\"slot\":" << slot << ",\"packet\":" << packet
+       << "}\n";
+}
+
+void TraceObserver::on_tx_result(const TxResult& result, SlotIndex slot) {
+  flush_pending_slot();
+  out_ << "{\"event\":\"tx\",\"slot\":" << slot
+       << ",\"sender\":" << result.intent.sender << ",\"receiver\":";
+  if (result.intent.is_broadcast()) {
+    out_ << "null";
+  } else {
+    out_ << result.intent.receiver;
+  }
+  out_ << ",\"packet\":" << result.intent.packet << ",\"outcome\":\""
+       << outcome_name(result.outcome) << "\",\"duplicate\":"
+       << bool_name(result.duplicate) << "}\n";
+}
+
+void TraceObserver::on_delivery(NodeId node, PacketId packet, NodeId from,
+                                bool overheard, SlotIndex slot) {
+  flush_pending_slot();
+  out_ << "{\"event\":\"delivery\",\"slot\":" << slot << ",\"node\":" << node
+       << ",\"packet\":" << packet << ",\"from\":" << from
+       << ",\"overheard\":" << bool_name(overheard) << "}\n";
+}
+
+void TraceObserver::on_packet_covered(PacketId packet, SlotIndex covered_at) {
+  flush_pending_slot();
+  out_ << "{\"event\":\"covered\",\"packet\":" << packet
+       << ",\"slot\":" << covered_at << "}\n";
+}
+
+void TraceObserver::on_run_end(const SimResult& result) {
+  slot_pending_ = false;  // a trailing idle slot stays elided.
+  out_ << "{\"event\":\"run_end\",\"end_slot\":" << result.metrics.end_slot
+       << ",\"all_covered\":" << bool_name(result.metrics.all_covered)
+       << ",\"truncated\":" << bool_name(result.metrics.truncated) << "}\n";
+  out_.flush();
+}
+
+namespace {
+
+// Hand-rolled field extraction: the writer emits flat one-line objects with
+// unique keys, so a quoted-key search is a full parser for this format.
+
+std::string_view find_raw(std::string_view line, std::string_view key,
+                          const char* what) {
+  std::string needle("\"");
+  needle.append(key);
+  needle.append("\":");
+  const std::size_t at = line.find(needle);
+  std::string missing("trace line missing key '");
+  missing.append(key);
+  missing.append("': ");
+  missing.append(what);
+  LDCF_REQUIRE(at != std::string_view::npos, missing);
+  std::string_view rest = line.substr(at + needle.size());
+  const std::size_t end = rest.find_first_of(",}");
+  LDCF_REQUIRE(end != std::string_view::npos, "unterminated trace field");
+  return rest.substr(0, end);
+}
+
+std::uint64_t find_u64(std::string_view line, std::string_view key) {
+  const std::string_view raw = find_raw(line, key, "number");
+  std::uint64_t value = 0;
+  bool any = false;
+  for (const char c : raw) {
+    LDCF_REQUIRE(c >= '0' && c <= '9', "malformed number in trace");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    any = true;
+  }
+  LDCF_REQUIRE(any, "empty number in trace");
+  return value;
+}
+
+bool find_bool(std::string_view line, std::string_view key) {
+  const std::string_view raw = find_raw(line, key, "bool");
+  if (raw == "true") return true;
+  LDCF_REQUIRE(raw == "false", "malformed bool in trace");
+  return false;
+}
+
+std::string_view find_string(std::string_view line, std::string_view key) {
+  std::string_view raw = find_raw(line, key, "string");
+  LDCF_REQUIRE(raw.size() >= 2 && raw.front() == '"' && raw.back() == '"',
+               "malformed string in trace");
+  return raw.substr(1, raw.size() - 2);
+}
+
+TxOutcome parse_outcome(std::string_view name) {
+  if (name == "delivered") return TxOutcome::kDelivered;
+  if (name == "lost") return TxOutcome::kLostChannel;
+  if (name == "collision") return TxOutcome::kCollision;
+  if (name == "busy") return TxOutcome::kReceiverBusy;
+  if (name == "broadcast") return TxOutcome::kBroadcast;
+  LDCF_REQUIRE(name == "sync_miss", "unknown tx outcome in trace");
+  return TxOutcome::kSyncMiss;
+}
+
+TraceEvent parse_line(std::string_view line) {
+  TraceEvent ev;
+  const std::string_view kind = find_string(line, "event");
+  if (kind == "slot_begin") {
+    ev.kind = TraceEvent::Kind::kSlotBegin;
+    ev.slot = find_u64(line, "slot");
+    ev.active = find_u64(line, "active");
+  } else if (kind == "generate") {
+    ev.kind = TraceEvent::Kind::kGenerate;
+    ev.slot = find_u64(line, "slot");
+    ev.packet = static_cast<PacketId>(find_u64(line, "packet"));
+  } else if (kind == "tx") {
+    ev.kind = TraceEvent::Kind::kTx;
+    ev.slot = find_u64(line, "slot");
+    ev.sender = static_cast<NodeId>(find_u64(line, "sender"));
+    ev.receiver = find_raw(line, "receiver", "node or null") == "null"
+                      ? kNoNode
+                      : static_cast<NodeId>(find_u64(line, "receiver"));
+    ev.packet = static_cast<PacketId>(find_u64(line, "packet"));
+    ev.outcome = parse_outcome(find_string(line, "outcome"));
+    ev.duplicate = find_bool(line, "duplicate");
+  } else if (kind == "delivery") {
+    ev.kind = TraceEvent::Kind::kDelivery;
+    ev.slot = find_u64(line, "slot");
+    ev.node = static_cast<NodeId>(find_u64(line, "node"));
+    ev.packet = static_cast<PacketId>(find_u64(line, "packet"));
+    ev.from = static_cast<NodeId>(find_u64(line, "from"));
+    ev.overheard = find_bool(line, "overheard");
+  } else if (kind == "covered") {
+    ev.kind = TraceEvent::Kind::kCovered;
+    ev.packet = static_cast<PacketId>(find_u64(line, "packet"));
+    ev.slot = find_u64(line, "slot");
+  } else if (kind == "run_end") {
+    ev.kind = TraceEvent::Kind::kRunEnd;
+    ev.end_slot = find_u64(line, "end_slot");
+    ev.all_covered = find_bool(line, "all_covered");
+    ev.truncated = find_bool(line, "truncated");
+  } else {
+    LDCF_REQUIRE(false, "unknown trace event kind");
+  }
+  return ev;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> read_event_trace(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    events.push_back(parse_line(line));
+  }
+  return events;
+}
+
+std::vector<TraceEvent> read_event_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  LDCF_REQUIRE(in.is_open(), "cannot open trace file: " + path);
+  return read_event_trace(in);
+}
+
+}  // namespace ldcf::sim

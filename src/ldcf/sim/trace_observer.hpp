@@ -1,0 +1,102 @@
+// JSONL event tracing for engine runs.
+//
+// TraceObserver serializes the SimObserver event stream as one JSON object
+// per line, cheap enough to attach to full experiment sweeps and stable
+// enough to diff across commits. read_event_trace parses the format back
+// into typed events so tests (and tools) can round-trip a run.
+//
+// Event lines (fields in emission order):
+//   {"event":"slot_begin","slot":S,"active":K}
+//   {"event":"generate","slot":S,"packet":P}
+//   {"event":"tx","slot":S,"sender":A,"receiver":B|null,"packet":P,
+//    "outcome":"delivered|lost|collision|busy|broadcast|sync_miss",
+//    "duplicate":bool}
+//   {"event":"delivery","slot":S,"node":N,"packet":P,"from":F,
+//    "overheard":bool}
+//   {"event":"covered","packet":P,"slot":C}
+//   {"event":"run_end","end_slot":S,"all_covered":bool,"truncated":bool}
+//
+// By default idle slots are elided: a slot_begin line is written only once
+// the slot produces another event, which keeps low-duty-cycle traces (where
+// most slots are empty) proportional to activity rather than to time.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ldcf/common/types.hpp"
+#include "ldcf/sim/flooding_protocol.hpp"
+#include "ldcf/sim/observer.hpp"
+
+namespace ldcf::sim {
+
+/// Streams engine events as JSON lines to an output stream or file.
+class TraceObserver final : public SimObserver {
+ public:
+  /// Write to a caller-owned stream (kept open; caller flushes).
+  explicit TraceObserver(std::ostream& out, bool include_idle_slots = false);
+
+  /// Write to `path`, truncating it. Throws InvalidArgument if the file
+  /// cannot be opened.
+  explicit TraceObserver(const std::string& path,
+                         bool include_idle_slots = false);
+
+  void on_slot_begin(SlotIndex slot, std::span<const NodeId> active) override;
+  void on_generate(PacketId packet, SlotIndex slot) override;
+  void on_tx_result(const TxResult& result, SlotIndex slot) override;
+  void on_delivery(NodeId node, PacketId packet, NodeId from, bool overheard,
+                   SlotIndex slot) override;
+  void on_packet_covered(PacketId packet, SlotIndex covered_at) override;
+  void on_run_end(const SimResult& result) override;
+
+ private:
+  void flush_pending_slot();
+
+  std::ofstream file_;    ///< backing storage for the path constructor.
+  std::ostream& out_;
+  bool include_idle_slots_;
+  bool slot_pending_ = false;
+  SlotIndex pending_slot_ = 0;
+  std::uint64_t pending_active_ = 0;
+};
+
+/// One parsed trace line. Fields not present in the line's event kind keep
+/// their defaults.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSlotBegin,
+    kGenerate,
+    kTx,
+    kDelivery,
+    kCovered,
+    kRunEnd,
+  };
+
+  Kind kind = Kind::kSlotBegin;
+  SlotIndex slot = 0;            ///< all but run_end.
+  std::uint64_t active = 0;      ///< slot_begin: active-node count.
+  NodeId sender = kNoNode;       ///< tx.
+  NodeId receiver = kNoNode;     ///< tx; kNoNode = broadcast (JSON null).
+  NodeId node = kNoNode;         ///< delivery.
+  NodeId from = kNoNode;         ///< delivery.
+  PacketId packet = kNoPacket;   ///< generate/tx/delivery/covered.
+  TxOutcome outcome = TxOutcome::kLostChannel;  ///< tx.
+  bool duplicate = false;        ///< tx.
+  bool overheard = false;        ///< delivery.
+  SlotIndex end_slot = 0;        ///< run_end.
+  bool all_covered = false;      ///< run_end.
+  bool truncated = false;        ///< run_end.
+};
+
+/// Parse a JSONL event trace; throws InvalidArgument on a malformed line.
+/// (Named to avoid colliding with topology::read_trace_file, which reads
+/// link traces.)
+[[nodiscard]] std::vector<TraceEvent> read_event_trace(std::istream& in);
+
+/// File variant; throws InvalidArgument if the file cannot be opened.
+[[nodiscard]] std::vector<TraceEvent> read_event_trace_file(
+    const std::string& path);
+
+}  // namespace ldcf::sim

@@ -1,5 +1,6 @@
 #include "ldcf/schedule/working_schedule.hpp"
 
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -65,6 +66,21 @@ TEST(ScheduleSet, ActiveNodesBucketsAreConsistent) {
       if (sched.is_active(n, t)) ++count;
     }
     EXPECT_EQ(active.size(), count);
+  }
+}
+
+TEST(ScheduleSet, ActiveNodesAtViewMatchesVectorQuery) {
+  // The allocation-free span view must agree with the copying query for
+  // every phase, across several periods.
+  Rng rng(9);
+  const ScheduleSet sched(50, DutyCycle{10}, rng);
+  for (SlotIndex t = 0; t < 30; ++t) {
+    const auto copied = sched.active_nodes(t);
+    const std::span<const NodeId> view = sched.active_nodes_at(t);
+    ASSERT_EQ(view.size(), copied.size());
+    for (std::size_t i = 0; i < copied.size(); ++i) {
+      EXPECT_EQ(view[i], copied[i]);
+    }
   }
 }
 

@@ -196,6 +196,124 @@ TEST(Channel, PrrScaleDegradesDelivery) {
   EXPECT_NEAR(static_cast<double>(delivered) / kTrials, 0.3, 0.03);
 }
 
+TEST(Channel, CaptureTieOnEqualPrrCollides) {
+  // Equal-strength contenders: best/second PRR tie, so best >= ratio*second
+  // fails for any ratio > 1 and the overlap stays destructive.
+  Topology topo{std::vector<Point2D>(4)};
+  topo.add_symmetric_link(0, 2, 0.8);
+  topo.add_symmetric_link(3, 2, 0.8);
+  Rng rng(17);
+  const std::vector<TxIntent> intents{{0, 2, 0}, {3, 2, 1}};
+  const ChannelConfig config{true, false, 1.0, /*capture_ratio=*/2.0};
+  const auto res = resolve_slot(topo, intents, {2}, config, rng);
+  EXPECT_EQ(res.results[0].outcome, TxOutcome::kCollision);
+  EXPECT_EQ(res.results[1].outcome, TxOutcome::kCollision);
+}
+
+TEST(Channel, CaptureRatioOneLetsFirstMaxPrrWin) {
+  // capture_ratio = 1.0 degenerates to "any strictly-first maximum wins":
+  // even an exact tie satisfies best >= 1.0 * second, and the first intent
+  // holding the maximum (strict-greater updates) is the one captured.
+  Topology topo{std::vector<Point2D>(4)};
+  topo.add_symmetric_link(0, 2, 0.8);
+  topo.add_symmetric_link(3, 2, 0.8);
+  Rng rng(18);
+  const std::vector<TxIntent> intents{{0, 2, 0}, {3, 2, 1}};
+  const ChannelConfig config{true, false, 1.0, /*capture_ratio=*/1.0};
+  int first_delivered = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto res = resolve_slot(topo, intents, {2}, config, rng);
+    EXPECT_EQ(res.results[1].outcome, TxOutcome::kCollision);
+    if (res.results[0].outcome == TxOutcome::kDelivered) ++first_delivered;
+  }
+  EXPECT_GT(first_delivered, 350);  // ~0.8 of 500.
+}
+
+TEST(Channel, AudibleBroadcastDefeatsCapturedUnicast) {
+  // A unicast that would capture its receiver still collides when a
+  // broadcast is audible there: capture only settles the unicast overlap,
+  // broadcast interference remains destructive.
+  Topology topo{std::vector<Point2D>(4)};
+  topo.add_symmetric_link(0, 2, 0.95);
+  topo.add_symmetric_link(3, 2, 0.2);
+  topo.add_symmetric_link(1, 2, 0.9);
+  Rng rng(19);
+  const std::vector<TxIntent> intents{
+      {0, 2, 0}, {3, 2, 1}, {1, kNoNode, 2}};
+  const ChannelConfig config{true, false, 1.0, /*capture_ratio=*/2.0};
+  const auto res = resolve_slot(topo, intents, {2}, config, rng);
+  EXPECT_EQ(res.results[0].outcome, TxOutcome::kCollision);
+  EXPECT_EQ(res.results[1].outcome, TxOutcome::kCollision);
+  EXPECT_EQ(res.results[2].outcome, TxOutcome::kBroadcast);
+}
+
+TEST(Channel, ReusedChannelMatchesFreshResolvesAcrossSlots) {
+  // A long-lived Channel recycles its scratch between slots; the outcome
+  // stream must be identical to constructing a fresh channel per slot.
+  const Topology topo = chain4();
+  const ChannelConfig config{true, true, 1.0, /*capture_ratio=*/2.0};
+  const std::vector<std::vector<TxIntent>> slots{
+      {{0, 2, 0}, {3, 2, 1}},           // contested receiver.
+      {{1, 2, 0}},                      // clean unicast.
+      {{0, kNoNode, 1}},                // broadcast.
+      {},                               // idle.
+      {{2, 1, 1}, {0, 1, 2}},           // contested again, new nodes.
+  };
+  const std::vector<NodeId> active{0, 1, 2, 3};
+
+  Channel reused(topo);
+  Rng rng_reused(23);
+  Rng rng_fresh(23);
+  for (const auto& intents : slots) {
+    SlotResolution from_reused;
+    reused.resolve(intents, active, config, rng_reused, from_reused);
+    const SlotResolution from_fresh =
+        resolve_slot(topo, intents, active, config, rng_fresh);
+    ASSERT_EQ(from_reused.results.size(), from_fresh.results.size());
+    for (std::size_t i = 0; i < from_fresh.results.size(); ++i) {
+      EXPECT_EQ(from_reused.results[i].outcome, from_fresh.results[i].outcome);
+    }
+    ASSERT_EQ(from_reused.overhears.size(), from_fresh.overhears.size());
+    for (std::size_t i = 0; i < from_fresh.overhears.size(); ++i) {
+      EXPECT_EQ(from_reused.overhears[i].listener,
+                from_fresh.overhears[i].listener);
+      EXPECT_EQ(from_reused.overhears[i].sender,
+                from_fresh.overhears[i].sender);
+      EXPECT_EQ(from_reused.overhears[i].packet,
+                from_fresh.overhears[i].packet);
+    }
+  }
+}
+
+TEST(Channel, ListenerPassIsIdenticalUnderBothEvaluationOrders) {
+  // The listener pass picks scatter (per-sender neighborhoods) or gather
+  // (per-listener intent scan) by estimated work: scatter iff
+  // sum(sender degrees) < active * intents. With perfect links the outcome
+  // carries no RNG sensitivity, so both paths must report the exact same
+  // overhear. Sender 0 has degree 2, so active {1,2,3,4} (2 < 4) takes
+  // scatter while active {2} (2 < 1 is false) takes gather.
+  Topology topo{std::vector<Point2D>(5)};
+  topo.add_symmetric_link(0, 1, 1.0);
+  topo.add_symmetric_link(0, 2, 1.0);
+  const std::vector<TxIntent> intents{{0, 1, 0}};
+  const ChannelConfig config{true, true};
+
+  const auto overhears_with = [&](const std::vector<NodeId>& active) {
+    Rng rng(29);
+    return resolve_slot(topo, intents, active, config, rng).overhears;
+  };
+  const auto scatter = overhears_with({1, 2, 3, 4});
+  const auto gather = overhears_with({2});
+  ASSERT_EQ(scatter.size(), 1u);  // only node 2 is audible and not addressed.
+  ASSERT_EQ(gather.size(), 1u);
+  EXPECT_EQ(scatter[0].listener, 2u);
+  EXPECT_EQ(gather[0].listener, 2u);
+  EXPECT_EQ(scatter[0].sender, 0u);
+  EXPECT_EQ(gather[0].sender, 0u);
+  EXPECT_EQ(scatter[0].packet, 0u);
+  EXPECT_EQ(gather[0].packet, 0u);
+}
+
 TEST(Channel, EmptySlotIsEmpty) {
   const Topology topo = chain4();
   Rng rng(9);

@@ -53,5 +53,50 @@ TEST(PossessionState, PacketsAreIndependent) {
   EXPECT_TRUE(state.has(1, 2));
 }
 
+TEST(PossessionState, MultiWordBitsetHasNoCrossTalk) {
+  // 100 nodes x 3 packets spans several 64-bit words with packet rows
+  // crossing word boundaries mid-word; flip a scattered pattern and verify
+  // exactly those cells read back set.
+  constexpr std::size_t kNodes = 100;
+  constexpr std::uint32_t kPackets = 3;
+  PossessionState state(kNodes, kPackets);
+  const auto expected = [](NodeId n, PacketId p) {
+    return (n * 7 + p * 13) % 5 == 0;
+  };
+  std::vector<std::uint64_t> holders(kPackets, 0);
+  for (PacketId p = 0; p < kPackets; ++p) {
+    for (NodeId n = 0; n < kNodes; ++n) {
+      if (expected(n, p)) {
+        EXPECT_TRUE(state.deliver(n, p));
+        ++holders[p];
+      }
+    }
+  }
+  for (PacketId p = 0; p < kPackets; ++p) {
+    EXPECT_EQ(state.holders(p), holders[p]);
+    for (NodeId n = 0; n < kNodes; ++n) {
+      EXPECT_EQ(state.has(n, p), expected(n, p)) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(PossessionState, ResetForgetsEverything) {
+  PossessionState state(70, 2);
+  state.deliver(0, 0);
+  state.deliver(69, 0);
+  state.deliver(33, 1);
+  state.reset();
+  EXPECT_EQ(state.holders(0), 0u);
+  EXPECT_EQ(state.sensor_holders(0), 0u);
+  EXPECT_EQ(state.holders(1), 0u);
+  for (NodeId n = 0; n < 70; ++n) {
+    EXPECT_FALSE(state.has(n, 0));
+    EXPECT_FALSE(state.has(n, 1));
+  }
+  // The instance is fully reusable after reset.
+  EXPECT_TRUE(state.deliver(69, 0));
+  EXPECT_EQ(state.holders(0), 1u);
+}
+
 }  // namespace
 }  // namespace ldcf::sim

@@ -169,6 +169,35 @@ TEST(Simulator, MaxSlotsStopsUncoverableRuns) {
   const SimResult res = run_simulation(topo, config, proto);
   EXPECT_TRUE(res.metrics.all_covered);
   EXPECT_EQ(res.metrics.coverage_target, 1u);
+  EXPECT_FALSE(res.metrics.truncated);
+}
+
+TEST(Simulator, TruncatedFlagSetWhenMaxSlotsHits) {
+  const Topology topo = pair_topology(0.5);
+  SimConfig config;
+  config.num_packets = 10;
+  config.duty = DutyCycle{10};
+  config.coverage_fraction = 1.0;
+  config.seed = 3;
+  config.max_slots = 3;  // far too few for 10 packets at duty 10%.
+  MiniFlood proto;
+  const SimResult res = run_simulation(topo, config, proto);
+  EXPECT_FALSE(res.metrics.all_covered);
+  EXPECT_TRUE(res.metrics.truncated);
+  EXPECT_EQ(res.metrics.end_slot, 3u);
+}
+
+TEST(Simulator, CompletedRunIsNeverTruncated) {
+  const Topology topo = pair_topology();
+  SimConfig config;
+  config.num_packets = 2;
+  config.duty = DutyCycle{10};
+  config.coverage_fraction = 1.0;
+  config.seed = 5;
+  MiniFlood proto;
+  const SimResult res = run_simulation(topo, config, proto);
+  EXPECT_TRUE(res.metrics.all_covered);
+  EXPECT_FALSE(res.metrics.truncated);
 }
 
 TEST(Simulator, EnergyTallyIsConsistent) {

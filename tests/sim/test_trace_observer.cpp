@@ -1,0 +1,146 @@
+// TraceObserver round-trip: a run's JSONL event stream, parsed back, must
+// reproduce the metrics the engine reported for the same run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/sim/trace_observer.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace {
+
+using namespace ldcf;
+
+topology::Topology small_topology() {
+  topology::ClusterConfig config;
+  config.base.num_sensors = 30;
+  config.base.area_side_m = 180.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = 11;
+  config.num_clusters = 3;
+  config.cluster_sigma_m = 25.0;
+  return topology::make_clustered(config);
+}
+
+sim::SimConfig small_config() {
+  sim::SimConfig config;
+  config.num_packets = 6;
+  config.duty = DutyCycle{10};
+  config.seed = 21;
+  return config;
+}
+
+TEST(TraceObserver, RoundTripsThroughTheReader) {
+  const topology::Topology topo = small_topology();
+  const sim::SimConfig config = small_config();
+
+  std::stringstream trace;
+  sim::TraceObserver observer(trace);
+  auto proto = protocols::make_protocol("dbao");
+  const sim::SimResult res =
+      sim::run_simulation(topo, config, *proto, &observer);
+
+  const std::vector<sim::TraceEvent> events = sim::read_event_trace(trace);
+  ASSERT_FALSE(events.empty());
+
+  std::uint64_t tx_count = 0;
+  std::uint64_t delivery_count = 0;
+  std::uint64_t generate_count = 0;
+  std::map<PacketId, SlotIndex> covered_slots;
+  for (const sim::TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case sim::TraceEvent::Kind::kTx:
+        ++tx_count;
+        break;
+      case sim::TraceEvent::Kind::kDelivery:
+        ++delivery_count;
+        break;
+      case sim::TraceEvent::Kind::kGenerate:
+        EXPECT_EQ(res.metrics.packets[ev.packet].generated_at, ev.slot);
+        ++generate_count;
+        break;
+      case sim::TraceEvent::Kind::kCovered:
+        covered_slots[ev.packet] = ev.slot;
+        break;
+      default:
+        break;
+    }
+  }
+
+  EXPECT_EQ(tx_count, res.metrics.channel.attempts);
+  EXPECT_EQ(generate_count, config.num_packets);
+
+  std::uint64_t metric_deliveries = 0;
+  for (const auto& rec : res.metrics.packets) {
+    metric_deliveries += rec.deliveries;
+    if (rec.covered()) {
+      ASSERT_TRUE(covered_slots.contains(rec.packet));
+      EXPECT_EQ(covered_slots[rec.packet], rec.covered_at);
+    }
+  }
+  EXPECT_EQ(delivery_count, metric_deliveries);
+
+  const sim::TraceEvent& last = events.back();
+  ASSERT_EQ(last.kind, sim::TraceEvent::Kind::kRunEnd);
+  EXPECT_EQ(last.end_slot, res.metrics.end_slot);
+  EXPECT_EQ(last.all_covered, res.metrics.all_covered);
+  EXPECT_EQ(last.truncated, res.metrics.truncated);
+}
+
+TEST(TraceObserver, FileVariantRoundTrips) {
+  const topology::Topology topo = small_topology();
+  const std::string path = testing::TempDir() + "ldcf_trace_test.jsonl";
+
+  {
+    sim::TraceObserver observer(path);
+    auto proto = protocols::make_protocol("opt");
+    (void)sim::run_simulation(topo, small_config(), *proto, &observer);
+  }
+
+  const std::vector<sim::TraceEvent> events =
+      sim::read_event_trace_file(path);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().kind, sim::TraceEvent::Kind::kRunEnd);
+  std::remove(path.c_str());
+}
+
+TEST(TraceObserver, ElidesIdleSlotsByDefault) {
+  const topology::Topology topo = small_topology();
+  const sim::SimConfig config = small_config();
+  auto count_slot_begins = [&](bool include_idle) {
+    std::stringstream trace;
+    sim::TraceObserver observer(trace, include_idle);
+    auto proto = protocols::make_protocol("dbao");
+    const sim::SimResult res =
+        sim::run_simulation(topo, config, *proto, &observer);
+    std::uint64_t begins = 0;
+    for (const auto& ev : sim::read_event_trace(trace)) {
+      if (ev.kind == sim::TraceEvent::Kind::kSlotBegin) ++begins;
+    }
+    return std::pair{begins, res.metrics.end_slot};
+  };
+  const auto [elided, end_slot] = count_slot_begins(false);
+  const auto [full, end_slot2] = count_slot_begins(true);
+  EXPECT_EQ(end_slot, end_slot2);
+  EXPECT_EQ(full, end_slot);  // one line per simulated slot.
+  EXPECT_LT(elided, full);    // low duty => most slots are silent.
+  EXPECT_GT(elided, 0u);
+}
+
+TEST(TraceObserver, ReaderRejectsMalformedLines) {
+  std::stringstream bad_kind("{\"event\":\"nope\"}\n");
+  EXPECT_THROW((void)sim::read_event_trace(bad_kind), InvalidArgument);
+  std::stringstream missing_key("{\"event\":\"generate\",\"slot\":3}\n");
+  EXPECT_THROW((void)sim::read_event_trace(missing_key), InvalidArgument);
+  std::stringstream bad_number(
+      "{\"event\":\"generate\",\"slot\":x,\"packet\":1}\n");
+  EXPECT_THROW((void)sim::read_event_trace(bad_number), InvalidArgument);
+}
+
+}  // namespace
