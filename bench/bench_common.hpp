@@ -58,6 +58,14 @@ inline std::uint32_t threads() {
   return 0;
 }
 
+/// Path for a bench's machine-readable JSON result: LDCF_BENCH_REPORT
+/// overrides (an explicitly empty value disables the report), default
+/// "BENCH_<name>.json" in the working directory.
+inline std::string report_path(const std::string& name) {
+  if (const char* env = std::getenv("LDCF_BENCH_REPORT")) return env;
+  return "BENCH_" + name + ".json";
+}
+
 inline sim::SimConfig paper_config() {
   sim::SimConfig config;
   config.duty = DutyCycle::from_ratio(kPaperDuty);

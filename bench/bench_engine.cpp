@@ -4,16 +4,77 @@
 // benches vary protocol behaviour, this one pins raw slot-loop cost.
 //
 // Env knobs: LDCF_BENCH_PACKETS (default 60), LDCF_BENCH_REPS (default 3,
-// best-of), LDCF_ENGINE_DUTY_PCT (default 5).
+// best-of), LDCF_ENGINE_DUTY_PCT (default 5), LDCF_BENCH_REPORT (JSON
+// output path, default BENCH_engine.json; empty disables it).
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "ldcf/analysis/table.hpp"
+#include "ldcf/obs/report.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/sim/simulator.hpp"
 #include "ldcf/topology/generators.hpp"
+
+namespace {
+
+struct BenchRow {
+  std::string protocol;
+  std::uint64_t slots = 0;
+  std::uint64_t attempts = 0;
+  double best_seconds = 0.0;
+  double slots_per_sec = 0.0;
+};
+
+/// Machine-readable twin of the printed table, via the obs report writer:
+/// provenance plus one result object per protocol, so perf trajectories
+/// can be diffed across commits without parsing the human table.
+void write_bench_report(const std::string& path,
+                        const ldcf::topology::Topology& topo,
+                        const ldcf::sim::SimConfig& config, double duty_pct,
+                        std::uint32_t reps,
+                        const std::vector<BenchRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::cerr << "bench_engine: cannot open report file " << path << "\n";
+    return;
+  }
+  ldcf::obs::JsonWriter json(out);
+  json.begin_object()
+      .field("schema", "ldcf.bench_report.v1")
+      .field("bench", "engine");
+  json.key("provenance");
+  ldcf::obs::write_provenance(json, ldcf::obs::Provenance::current());
+  json.key("config")
+      .begin_object()
+      .field("num_nodes", std::uint64_t{topo.num_nodes()})
+      .field("num_packets", config.num_packets)
+      .field("duty_percent", duty_pct)
+      .field("seed", config.seed)
+      .field("best_of", reps)
+      .end_object();
+  json.key("topology");
+  ldcf::obs::write_topology_summary(json, topo);
+  json.key("results").begin_array();
+  for (const BenchRow& row : rows) {
+    json.begin_object()
+        .field("protocol", row.protocol)
+        .field("slots", row.slots)
+        .field("attempts", row.attempts)
+        .field("best_seconds", row.best_seconds)
+        .field("slots_per_sec", row.slots_per_sec)
+        .end_object();
+  }
+  json.end_array().end_object();
+  out << '\n';
+  std::cout << "Report written to " << path << "\n";
+}
+
+}  // namespace
 
 int main() {
   using namespace ldcf;
@@ -47,6 +108,7 @@ int main() {
             << "%, best of " << reps << ") ===\n";
 
   Table table({"protocol", "slots", "attempts", "ms", "slots/sec"});
+  std::vector<BenchRow> rows;
   for (const char* name : {"opt", "dbao", "of", "naive"}) {
     double best_seconds = 0.0;
     sim::SimResult result;
@@ -65,6 +127,9 @@ int main() {
                    Table::num(result.metrics.channel.attempts),
                    Table::num(1e3 * best_seconds, 1),
                    Table::num(slots_per_sec, 0)});
+    rows.push_back(BenchRow{name, result.metrics.end_slot,
+                            result.metrics.channel.attempts, best_seconds,
+                            slots_per_sec});
     if (result.metrics.truncated) {
       std::cout << "warning: " << name << " truncated at max_slots\n";
     }
@@ -73,5 +138,9 @@ int main() {
   std::cout << "\nShape check: slots/sec is the hot-path budget; compare "
                "against EXPERIMENTS.md \"Engine throughput\" before/after "
                "touching sim/.\n";
+  const std::string report = bench::report_path("engine");
+  if (!report.empty()) {
+    write_bench_report(report, topo, config, duty_pct, reps, rows);
+  }
   return 0;
 }

@@ -21,6 +21,12 @@
 //     --reps R           average over R seeds (seed, seed+1, ...; default 1)
 //     --threads N        trial workers for --reps: 0 = all cores, 1 = serial
 //     --csv              machine-readable per-packet output (single run only)
+//     --report PATH      write a provenance-stamped JSON report: config,
+//                        topology fingerprint, git SHA, stage-profiler
+//                        timings, delay/energy histograms (enables the
+//                        stage profiler for the run)
+//     --progress         print completion/ETA to stderr (--reps mode)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +35,10 @@
 #include <string>
 
 #include "ldcf/analysis/experiment.hpp"
+#include "ldcf/analysis/report.hpp"
 #include "ldcf/analysis/table.hpp"
+#include "ldcf/obs/report.hpp"
+#include "ldcf/obs/stats_observer.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/sim/simulator.hpp"
 #include "ldcf/sim/trace_observer.hpp"
@@ -57,6 +66,26 @@ std::uint64_t parse_u64(const char* text) {
   return value;
 }
 
+// Completion/ETA line on stderr, rewritten in place with '\r'. The
+// executor serializes progress callbacks, so no locking is needed here.
+ldcf::analysis::ProgressFn make_progress_printer() {
+  const auto start = std::chrono::steady_clock::now();
+  return [start](std::size_t completed, std::size_t total) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double rate = elapsed > 0.0
+                            ? static_cast<double>(completed) / elapsed
+                            : 0.0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(total - completed) / rate : 0.0;
+    std::fprintf(stderr, "\r  %zu/%zu trials, %.1fs elapsed, eta %.1fs ",
+                 completed, total, elapsed, eta);
+    if (completed == total) std::fputc('\n', stderr);
+    std::fflush(stderr);
+  };
+}
+
 }  // namespace
 
 int run_cli(int argc, char** argv);
@@ -76,6 +105,8 @@ int run_cli(int argc, char** argv) {
   std::string protocol = "dbao";
   std::string topo_path;
   std::string trace_path;  // JSONL event-trace output (see trace_observer.hpp).
+  std::string report_path;  // JSON run report (see obs/report.hpp).
+  bool show_progress = false;
   std::uint32_t sensors = 298;
   std::uint64_t topo_seed = 1;
   double duty_pct = 5.0;
@@ -98,6 +129,10 @@ int run_cli(int argc, char** argv) {
       topo_path = next();
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (arg == "--report") {
+      report_path = next();
+    } else if (arg == "--progress") {
+      show_progress = true;
     } else if (arg == "--sensors") {
       sensors = static_cast<std::uint32_t>(parse_u64(next()));
     } else if (arg == "--topo-seed") {
@@ -144,6 +179,16 @@ int run_cli(int argc, char** argv) {
     }
   }
   config.duty = DutyCycle::from_ratio(duty_pct / 100.0);
+  // A report without profiler timings is half a report: turn the stage
+  // profiler on for reported runs (it never changes results, only adds
+  // two clock reads per stage per slot).
+  if (!report_path.empty()) config.profiling = true;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto wall_seconds = [&wall_start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
+  };
 
   topology::Topology topo =
       topo_path.empty()
@@ -169,12 +214,10 @@ int run_cli(int argc, char** argv) {
     experiment.repetitions = reps;
     experiment.threads = threads;
     experiment.trace_path = trace_path;  // per-trial suffix added downstream.
+    experiment.report_path = report_path;
+    if (show_progress) experiment.progress = make_progress_printer();
     const analysis::ProtocolPoint point =
         analysis::run_point(topo, protocol, config.duty, experiment);
-    if (point.truncated) {
-      std::cerr << "flood_sim: warning: at least one repetition stopped at "
-                   "max_slots before reaching coverage\n";
-    }
     std::cout << "protocol " << point.protocol << " on " << topo.num_sensors()
               << " sensors, duty " << 100.0 * config.duty.ratio() << "% x"
               << config.slots_per_period << ", M = " << config.num_packets
@@ -193,10 +236,26 @@ int run_cli(int argc, char** argv) {
   }
 
   const auto proto = protocols::make_protocol(protocol);
+  sim::MultiObserver fan_out;
   std::optional<sim::TraceObserver> trace;
-  if (!trace_path.empty()) trace.emplace(trace_path);
+  if (!trace_path.empty()) fan_out.add(&trace.emplace(trace_path));
+  std::optional<obs::StatsObserver> stats;
+  if (!report_path.empty()) {
+    fan_out.add(&stats.emplace(topo.num_nodes(), config.num_packets));
+  }
   const sim::SimResult result = sim::run_simulation(
-      topo, config, *proto, trace ? &*trace : nullptr);
+      topo, config, *proto, fan_out.size() > 0 ? &fan_out : nullptr);
+  if (!report_path.empty()) {
+    obs::RunReportContext report;
+    report.tool = "flood_sim";
+    report.protocol = proto->name();
+    report.topo = &topo;
+    report.config = &config;
+    report.result = &result;
+    report.metrics = &stats->registry();
+    report.wall_seconds = wall_seconds();
+    obs::write_run_report_file(report_path, report);
+  }
   if (result.metrics.truncated) {
     std::cerr << "flood_sim: warning: run stopped at max_slots ("
               << config.max_slots << ") before reaching coverage\n";

@@ -3,17 +3,21 @@
 // trace-driven workflow: the topology is written to a trace file and loaded
 // back, exactly as a real measurement trace would be.
 //
-//   ./protocol_comparison [duty_percent] [num_packets] [seed] [threads]
-//                         [event_trace_path]
+//   ./protocol_comparison [--report PATH] [duty_percent] [num_packets]
+//                         [seed] [threads] [event_trace_path]
 //
 // All protocols run as one parallel sweep (threads: 0 = all cores,
 // 1 = serial); the numbers are bit-identical at any thread count. When
 // event_trace_path is given, every trial writes a JSONL event trace there
-// with a per-trial "-<protocol>-T<period>-r<rep>" suffix.
+// with a per-trial "-<protocol>-T<period>-r<rep>" suffix. --report writes
+// a provenance-stamped ldcf.sweep_report.v1 JSON document with per-protocol
+// delay/energy histograms and stage-profiler timings.
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "ldcf/analysis/experiment.hpp"
 #include "ldcf/analysis/table.hpp"
@@ -24,14 +28,30 @@
 int main(int argc, char** argv) {
   using namespace ldcf;
 
-  const double duty_percent = argc > 1 ? std::atof(argv[1]) : 5.0;
+  // Peel off --report PATH, leaving the positional args in place.
+  std::string report_path;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "protocol_comparison: --report needs a path\n";
+        return 2;
+      }
+      report_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const std::size_t nargs = positional.size();
+
+  const double duty_percent = nargs > 0 ? std::atof(positional[0]) : 5.0;
   const auto packets =
-      static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 20);
+      static_cast<std::uint32_t>(nargs > 1 ? std::atoi(positional[1]) : 20);
   const std::uint64_t seed =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+      nargs > 2 ? std::strtoull(positional[2], nullptr, 10) : 1;
   const auto threads =
-      static_cast<std::uint32_t>(argc > 4 ? std::atoi(argv[4]) : 0);
-  const std::string event_trace_path = argc > 5 ? argv[5] : "";
+      static_cast<std::uint32_t>(nargs > 3 ? std::atoi(positional[3]) : 0);
+  const std::string event_trace_path = nargs > 4 ? positional[4] : "";
 
   // Trace-driven: generate once, round-trip through the trace format.
   const auto trace_path =
@@ -48,6 +68,8 @@ int main(int argc, char** argv) {
   config.base.seed = seed;
   config.threads = threads;
   config.trace_path = event_trace_path;
+  config.report_path = report_path;
+  if (!report_path.empty()) config.base.profiling = true;
 
   // One sweep call: every protocol's trial runs concurrently.
   const auto points = analysis::run_duty_sweep(
@@ -72,5 +94,8 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nExpected ordering (paper Fig. 9/10): opt < dbao < of << "
                "naive.\n";
+  if (!report_path.empty()) {
+    std::cout << "Sweep report written to " << report_path << "\n";
+  }
   return 0;
 }

@@ -1,10 +1,14 @@
 #include "ldcf/analysis/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <iostream>
+#include <optional>
 
-#include "ldcf/analysis/parallel.hpp"
+#include "ldcf/analysis/report.hpp"
 #include "ldcf/common/error.hpp"
+#include "ldcf/obs/stats_observer.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/sim/trace_observer.hpp"
 #include "ldcf/topology/tree.hpp"
@@ -14,16 +18,22 @@ namespace ldcf::analysis {
 TrialStats run_trial(const topology::Topology& topo,
                      const std::string& protocol,
                      const sim::SimConfig& config,
-                     const std::string& trace_path) {
+                     const std::string& trace_path, bool collect_stats) {
   const auto proto = protocols::make_protocol(protocol);
-  sim::SimResult res;
-  if (trace_path.empty()) {
-    res = sim::run_simulation(topo, config, *proto);
-  } else {
-    sim::TraceObserver trace(trace_path);
-    res = sim::run_simulation(topo, config, *proto, &trace);
+  // Optional observers share the engine's single observer slot through a
+  // MultiObserver; the common no-observer path skips the fan-out entirely.
+  sim::MultiObserver fan_out;
+  std::optional<sim::TraceObserver> trace;
+  if (!trace_path.empty()) fan_out.add(&trace.emplace(trace_path));
+  std::optional<obs::StatsObserver> stats_observer;
+  if (collect_stats) {
+    fan_out.add(&stats_observer.emplace(topo.num_nodes(), config.num_packets));
   }
+  const sim::SimResult res = sim::run_simulation(
+      topo, config, *proto, fan_out.size() > 0 ? &fan_out : nullptr);
   TrialStats stats;
+  if (stats_observer) stats.metrics = std::move(stats_observer->registry());
+  stats.profile = res.profile;
   stats.mean_delay = res.metrics.mean_total_delay();
   stats.mean_queueing_delay = res.metrics.mean_queueing_delay();
   stats.mean_transmission_delay = res.metrics.mean_transmission_delay();
@@ -56,6 +66,9 @@ ProtocolPoint reduce_trials(const std::string& protocol, DutyCycle duty,
     point.lifetime_slots += t.lifetime_slots / reps;
     point.all_covered = point.all_covered && t.all_covered;
     point.truncated = point.truncated || t.truncated;
+    if (t.truncated) ++point.truncated_trials;
+    point.metrics.merge(t.metrics);
+    point.profile.merge(t.profile);
   }
   // Two-pass population stddev: squared deviations from the already-known
   // mean. The one-pass sqrt(E[x^2] - mean^2) form cancels catastrophically
@@ -82,47 +95,87 @@ sim::SimConfig trial_config(const ExperimentConfig& config, DutyCycle duty,
   return run_config;
 }
 
-/// Per-trial trace file: the configured path verbatim for a single trial,
-/// otherwise "-<protocol>-T<period>-r<rep>" spliced in before the extension
-/// so concurrent trials never clobber each other's file.
-std::string trial_trace_path(const ExperimentConfig& config,
-                             const std::string& protocol, DutyCycle duty,
-                             std::uint32_t rep, std::size_t total_trials) {
-  if (config.trace_path.empty()) return {};
-  if (total_trials <= 1) return config.trace_path;
-  std::string suffix = "-" + protocol + "-T" + std::to_string(duty.period) +
-                       "-r" + std::to_string(rep);
-  const std::size_t dot = config.trace_path.find_last_of('.');
-  const std::size_t slash = config.trace_path.find_last_of('/');
-  const bool has_ext =
-      dot != std::string::npos &&
-      (slash == std::string::npos || dot > slash);
-  if (!has_ext) return config.trace_path + suffix;
-  return config.trace_path.substr(0, dot) + suffix +
-         config.trace_path.substr(dot);
+/// Stats are collected when explicitly requested or implied by a report.
+bool wants_stats(const ExperimentConfig& config) {
+  return config.collect_stats || !config.report_path.empty();
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The one-line truncation warning: silently-truncated sweeps otherwise
+/// only show up as a struct flag nobody prints.
+void warn_truncated(const std::vector<ProtocolPoint>& points,
+                    std::size_t total_trials) {
+  std::uint64_t truncated = 0;
+  for (const ProtocolPoint& point : points) {
+    truncated += point.truncated_trials;
+  }
+  if (truncated == 0) return;
+  std::cerr << "ldcf: warning: " << truncated << " of " << total_trials
+            << " trials stopped at max_slots before reaching coverage "
+               "(delay/energy aggregates are lower bounds for those "
+               "trials)\n";
 }
 
 }  // namespace
+
+std::string trial_trace_path(const std::string& base,
+                             const std::string& protocol, DutyCycle duty,
+                             std::uint32_t rep, std::size_t total_trials) {
+  if (base.empty()) return {};
+  if (total_trials <= 1) return base;  // single trial: the path, verbatim.
+  std::string suffix = "-" + protocol + "-T" + std::to_string(duty.period) +
+                       "-r" + std::to_string(rep);
+  const std::size_t dot = base.find_last_of('.');
+  const std::size_t slash = base.find_last_of('/');
+  const bool has_ext =
+      dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash);
+  if (!has_ext) return base + suffix;
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
 
 ProtocolPoint run_point(const topology::Topology& topo,
                         const std::string& protocol, DutyCycle duty,
                         const ExperimentConfig& config) {
   LDCF_REQUIRE(config.repetitions >= 1, "need at least one repetition");
+  const auto wall_start = std::chrono::steady_clock::now();
   std::vector<TrialStats> trials(config.repetitions);
   parallel_for_indexed(
-      trials.size(), config.threads, [&](std::size_t rep) {
+      trials.size(), config.threads,
+      [&](std::size_t rep) {
         const auto r = static_cast<std::uint32_t>(rep);
         trials[rep] = run_trial(
             topo, protocol, trial_config(config, duty, r),
-            trial_trace_path(config, protocol, duty, r, trials.size()));
-      });
-  return reduce_trials(protocol, duty, trials);
+            trial_trace_path(config.trace_path, protocol, duty, r,
+                             trials.size()),
+            wants_stats(config));
+      },
+      config.progress);
+  ProtocolPoint point = reduce_trials(protocol, duty, trials);
+  warn_truncated({point}, trials.size());
+  if (!config.report_path.empty()) {
+    SweepReportContext report;
+    report.tool = "run_point";
+    report.topo = &topo;
+    report.config = &config;
+    const std::vector<ProtocolPoint> points = {point};
+    report.points = &points;
+    report.wall_seconds = seconds_since(wall_start);
+    write_sweep_report_file(config.report_path, report);
+  }
+  return point;
 }
 
 std::vector<ProtocolPoint> run_duty_sweep(
     const topology::Topology& topo, const std::vector<std::string>& protocols,
     const std::vector<double>& duty_ratios, const ExperimentConfig& config) {
   LDCF_REQUIRE(config.repetitions >= 1, "need at least one repetition");
+  const auto wall_start = std::chrono::steady_clock::now();
   // Flatten the whole (protocol x duty x repetition) grid into one task
   // list so a few protocols at a few duty cycles still saturate all
   // workers. Trial t belongs to grid cell t / repetitions, repetition
@@ -132,7 +185,8 @@ std::vector<ProtocolPoint> run_duty_sweep(
   const std::size_t cells = protocols.size() * duty_ratios.size();
   std::vector<TrialStats> trials(cells * reps);
   parallel_for_indexed(
-      trials.size(), config.threads, [&](std::size_t t) {
+      trials.size(), config.threads,
+      [&](std::size_t t) {
         const std::size_t cell = t / reps;
         const auto rep = static_cast<std::uint32_t>(t % reps);
         const std::string& protocol = protocols[cell / duty_ratios.size()];
@@ -140,8 +194,11 @@ std::vector<ProtocolPoint> run_duty_sweep(
             DutyCycle::from_ratio(duty_ratios[cell % duty_ratios.size()]);
         trials[t] = run_trial(
             topo, protocol, trial_config(config, duty, rep),
-            trial_trace_path(config, protocol, duty, rep, trials.size()));
-      });
+            trial_trace_path(config.trace_path, protocol, duty, rep,
+                             trials.size()),
+            wants_stats(config));
+      },
+      config.progress);
 
   std::vector<ProtocolPoint> points;
   points.reserve(cells);
@@ -153,6 +210,16 @@ std::vector<ProtocolPoint> run_duty_sweep(
         protocols[cell / duty_ratios.size()],
         DutyCycle::from_ratio(duty_ratios[cell % duty_ratios.size()]),
         cell_trials));
+  }
+  warn_truncated(points, trials.size());
+  if (!config.report_path.empty()) {
+    SweepReportContext report;
+    report.tool = "run_duty_sweep";
+    report.topo = &topo;
+    report.config = &config;
+    report.points = &points;
+    report.wall_seconds = seconds_since(wall_start);
+    write_sweep_report_file(config.report_path, report);
   }
   return points;
 }

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "ldcf/analysis/parallel.hpp"
+#include "ldcf/obs/registry.hpp"
 #include "ldcf/sim/simulator.hpp"
 #include "ldcf/topology/topology.hpp"
 
@@ -25,6 +27,13 @@ struct ProtocolPoint {
   double lifetime_slots = 0.0;      ///< estimated from the hottest node.
   bool all_covered = true;
   bool truncated = false;           ///< any repetition hit max_slots.
+  std::uint32_t truncated_trials = 0;  ///< how many repetitions hit it.
+  /// Telemetry merged across the point's trials in repetition order
+  /// (bit-identical for any thread count). Empty unless the experiment
+  /// collected stats (ExperimentConfig::collect_stats / report_path).
+  obs::MetricsRegistry metrics;
+  /// Stage timings summed across trials; all-zero unless base.profiling.
+  sim::StageProfile profile;
 };
 
 struct ExperimentConfig {
@@ -37,8 +46,19 @@ struct ExperimentConfig {
   /// When non-empty, every trial writes a JSONL event trace (see
   /// trace_observer.hpp). A run of more than one trial appends a
   /// "-<protocol>-T<period>-r<rep>" suffix before the extension so each
-  /// trial gets its own file.
+  /// trial gets its own file; a single-trial run writes exactly this path
+  /// (the rule is trial_trace_path below).
   std::string trace_path;
+  /// Attach a StatsObserver to every trial and merge the registries into
+  /// each ProtocolPoint (see obs/stats_observer.hpp). Implied by a
+  /// non-empty report_path.
+  bool collect_stats = false;
+  /// When non-empty, run_point / run_duty_sweep write a provenance-stamped
+  /// JSON sweep report here (see analysis/report.hpp).
+  std::string report_path;
+  /// Completion callback forwarded to the parallel executor; see
+  /// ProgressFn in parallel.hpp for the threading contract.
+  ProgressFn progress;
 };
 
 /// Raw aggregates of one seeded simulation trial, in reduction order.
@@ -54,23 +74,39 @@ struct TrialStats {
   double lifetime_slots = 0.0;
   bool all_covered = true;
   bool truncated = false;
+  obs::MetricsRegistry metrics;  ///< populated when collect_stats is on.
+  sim::StageProfile profile;     ///< populated when config.profiling is on.
 };
 
 /// One simulation run of `protocol` under exactly `config` (duty and seed
 /// already set). Self-contained: safe to run concurrently with other trials.
-/// A non-empty `trace_path` attaches a TraceObserver writing JSONL there.
+/// A non-empty `trace_path` attaches a TraceObserver writing JSONL there;
+/// `collect_stats` attaches a StatsObserver and returns its registry.
 [[nodiscard]] TrialStats run_trial(const topology::Topology& topo,
                                    const std::string& protocol,
                                    const sim::SimConfig& config,
-                                   const std::string& trace_path = {});
+                                   const std::string& trace_path = {},
+                                   bool collect_stats = false);
 
 /// Index-ordered reduction of per-repetition trials into a ProtocolPoint.
 /// delay_stddev is the population stddev of the per-trial mean delays,
 /// computed two-pass (sum of squared deviations from the mean) so that
-/// near-equal large delays do not cancel catastrophically.
+/// near-equal large delays do not cancel catastrophically. Registry and
+/// histogram merging is exact: bin counts are independent of reduction
+/// order (see histogram.hpp).
 [[nodiscard]] ProtocolPoint reduce_trials(const std::string& protocol,
                                           DutyCycle duty,
                                           const std::vector<TrialStats>& trials);
+
+/// The per-trial event-trace file for `base` (ExperimentConfig::trace_path):
+/// empty stays empty, a single-trial run (`total_trials <= 1`) gets exactly
+/// `base`, and any larger run splices "-<protocol>-T<period>-r<rep>" in
+/// before the extension (after the last '/'-separated component's last
+/// dot; appended when there is no extension).
+[[nodiscard]] std::string trial_trace_path(const std::string& base,
+                                           const std::string& protocol,
+                                           DutyCycle duty, std::uint32_t rep,
+                                           std::size_t total_trials);
 
 /// Run one protocol at one duty cycle, averaged over repetitions.
 /// Repetitions fan out over config.threads workers; the result is

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -14,17 +15,23 @@ std::uint32_t resolve_threads(std::uint32_t requested) {
 }
 
 void parallel_for_indexed(std::size_t count, std::uint32_t threads,
-                          const std::function<void(std::size_t)>& task) {
+                          const std::function<void(std::size_t)>& task,
+                          const ProgressFn& progress) {
   const std::size_t workers =
       std::min<std::size_t>(resolve_threads(threads), count);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) task(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      task(i);
+      if (progress) progress(i + 1, count);
+    }
     return;
   }
 
   // Indices are claimed from one atomic counter; each failure lands in the
   // slot owned by its index so the rethrow choice below is deterministic.
   std::atomic<std::size_t> next{0};
+  std::size_t completed = 0;  // guarded by progress_mutex.
+  std::mutex progress_mutex;
   std::vector<std::exception_ptr> errors(count);
   const auto worker = [&] {
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -33,6 +40,10 @@ void parallel_for_indexed(std::size_t count, std::uint32_t threads,
         task(i);
       } catch (...) {
         errors[i] = std::current_exception();
+      }
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        progress(++completed, count);
       }
     }
   };

@@ -21,6 +21,14 @@ namespace ldcf::analysis {
 /// is taken literally.
 [[nodiscard]] std::uint32_t resolve_threads(std::uint32_t requested);
 
+/// Completion callback: `completed` of `total` tasks have finished. Calls
+/// are serialized (under a mutex on the parallel path) so the callback
+/// needs no locking of its own, but it runs on whichever worker finished a
+/// task — keep it cheap (progress bars, ETA math), it stalls that worker.
+/// `completed` is a count, not an index: tasks finish in any order.
+using ProgressFn = std::function<void(std::size_t completed,
+                                      std::size_t total)>;
+
 /// Run task(i) for every i in [0, count), fanning out over at most
 /// `threads` workers (resolved via resolve_threads). With a resolved
 /// worker count of 1 — or count <= 1 — the tasks run inline on the calling
@@ -31,8 +39,10 @@ namespace ldcf::analysis {
 ///
 /// If tasks throw, the exception thrown by the *lowest* index is rethrown
 /// after all workers join — the same exception a serial left-to-right run
-/// would surface — so error behaviour is deterministic too.
+/// would surface — so error behaviour is deterministic too. A task that
+/// throws still counts as completed for progress purposes.
 void parallel_for_indexed(std::size_t count, std::uint32_t threads,
-                          const std::function<void(std::size_t)>& task);
+                          const std::function<void(std::size_t)>& task,
+                          const ProgressFn& progress = {});
 
 }  // namespace ldcf::analysis

@@ -1,0 +1,367 @@
+#include "ldcf/obs/report.hpp"
+
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "ldcf/common/error.hpp"
+
+// Injected by CMake onto this translation unit only (see src/CMakeLists.txt);
+// keep fallbacks so the file also builds standalone.
+#ifndef LDCF_GIT_SHA
+#define LDCF_GIT_SHA "unknown"
+#endif
+#ifndef LDCF_BUILD_TYPE
+#define LDCF_BUILD_TYPE "unknown"
+#endif
+#ifndef LDCF_COMPILER
+#define LDCF_COMPILER "unknown"
+#endif
+#ifndef LDCF_CXX_FLAGS
+#define LDCF_CXX_FLAGS ""
+#endif
+
+namespace ldcf::obs {
+
+JsonWriter::JsonWriter(std::ostream& out) : out_(out) {
+  // Doubles must round-trip: max_digits10 with the default float format.
+  out_.precision(std::numeric_limits<double>::max_digits10);
+}
+
+JsonWriter::~JsonWriter() = default;
+
+void JsonWriter::comma() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already emitted its separator.
+  }
+  if (!has_item_.empty()) {
+    if (has_item_.back()) out_ << ',';
+    has_item_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ << '{';
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  LDCF_CHECK(!has_item_.empty() && !key_pending_, "unbalanced JSON object");
+  has_item_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ << '[';
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  LDCF_CHECK(!has_item_.empty() && !key_pending_, "unbalanced JSON array");
+  has_item_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+namespace {
+
+void write_escaped(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  LDCF_CHECK(!has_item_.empty() && !key_pending_,
+             "JSON key outside an object");
+  if (has_item_.back()) out_ << ',';
+  has_item_.back() = true;
+  write_escaped(out_, name);
+  out_ << ':';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  comma();
+  write_escaped(out_, text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) return null();
+  comma();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  comma();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  comma();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint32_t number) {
+  return value(static_cast<std::uint64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  comma();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ << "null";
+  return *this;
+}
+
+Provenance Provenance::current() {
+  Provenance p;
+  p.git_sha = LDCF_GIT_SHA;
+  p.build_type = LDCF_BUILD_TYPE;
+  p.compiler = LDCF_COMPILER;
+  p.cxx_flags = LDCF_CXX_FLAGS;
+  return p;
+}
+
+std::uint64_t topology_fingerprint(const topology::Topology& topo) {
+  constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  const auto mix = [](std::uint64_t hash, std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (8 * byte)) & 0xff;
+      hash *= kPrime;
+    }
+    return hash;
+  };
+  std::uint64_t hash = mix(kOffset, topo.num_nodes());
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    for (const topology::Link& link : topo.neighbors(n)) {
+      hash = mix(hash, n);
+      hash = mix(hash, link.to);
+      hash = mix(hash, std::bit_cast<std::uint64_t>(link.prr));
+    }
+  }
+  return hash;
+}
+
+void write_provenance(JsonWriter& json, const Provenance& provenance) {
+  json.begin_object()
+      .field("git_sha", provenance.git_sha)
+      .field("build_type", provenance.build_type)
+      .field("compiler", provenance.compiler)
+      .field("cxx_flags", provenance.cxx_flags)
+      .end_object();
+}
+
+void write_topology_summary(JsonWriter& json,
+                            const topology::Topology& topo) {
+  json.begin_object()
+      .field("nodes", static_cast<std::uint64_t>(topo.num_nodes()))
+      .field("sensors", topo.num_sensors())
+      .field("links", static_cast<std::uint64_t>(topo.num_links()))
+      .field("mean_degree", topo.mean_degree())
+      .field("mean_prr", topo.mean_prr())
+      .field("fingerprint", topology_fingerprint(topo))
+      .end_object();
+}
+
+void write_sim_config(JsonWriter& json, const sim::SimConfig& config) {
+  json.begin_object()
+      .field("duty_period", config.duty.period)
+      .field("duty_ratio", config.duty.ratio())
+      .field("slots_per_period", config.slots_per_period)
+      .field("source", config.source)
+      .field("num_packets", config.num_packets)
+      .field("packet_spacing", config.packet_spacing)
+      .field("coverage_fraction", config.coverage_fraction)
+      .field("seed", config.seed)
+      .field("max_slots", config.max_slots)
+      .field("capture_ratio", config.capture_ratio)
+      .field("sync_miss_prob", config.sync_miss_prob)
+      .field("profiling", config.profiling)
+      .end_object();
+}
+
+void write_histogram(JsonWriter& json, const Histogram& histogram) {
+  json.begin_object()
+      .field("bin_width", histogram.bin_width())
+      .field("count", histogram.count())
+      .field("sum", histogram.sum())
+      .field("mean", histogram.mean())
+      .field("min", histogram.min())
+      .field("max", histogram.max());
+  json.key("bins").begin_array();
+  for (std::size_t bin = 0; bin < histogram.num_bins(); ++bin) {
+    if (histogram.bin_count(bin) == 0) continue;
+    json.begin_object()
+        .field("lower", histogram.bin_lower(bin))
+        .field("count", histogram.bin_count(bin))
+        .end_object();
+  }
+  json.end_array().end_object();
+}
+
+void write_registry(JsonWriter& json, const MetricsRegistry& registry) {
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, counter] : registry.counters()) {
+    json.field(name, counter.value());
+  }
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, gauge] : registry.gauges()) {
+    json.field(name, gauge.value());
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, histogram] : registry.histograms()) {
+    json.key(name);
+    write_histogram(json, histogram);
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void write_stage_profile(JsonWriter& json, const sim::StageProfile& profile) {
+  json.begin_object()
+      .field("enabled", profile.enabled)
+      .field("slots", profile.slots)
+      .field("wall_ns", profile.wall_ns)
+      .field("slots_per_sec", profile.slots_per_sec())
+      .field("total_stage_ns", profile.total_stage_ns());
+  json.key("stages").begin_array();
+  for (std::size_t s = 0; s < sim::kNumStages; ++s) {
+    json.begin_object()
+        .field("name", sim::kStageNames[s])
+        .field("ns", profile.stage_ns[s])
+        .field("share", profile.stage_share(static_cast<sim::Stage>(s)))
+        .end_object();
+  }
+  json.end_array().end_object();
+}
+
+void write_run_result(JsonWriter& json, const sim::SimResult& result) {
+  const sim::RunMetrics& m = result.metrics;
+  std::uint64_t covered_packets = 0;
+  for (const sim::PacketRecord& rec : m.packets) {
+    if (rec.covered()) ++covered_packets;
+  }
+  json.begin_object()
+      .field("end_slot", m.end_slot)
+      .field("all_covered", m.all_covered)
+      .field("truncated", m.truncated)
+      .field("coverage_target", m.coverage_target)
+      .field("num_packets", static_cast<std::uint64_t>(m.packets.size()))
+      .field("covered_packets", covered_packets)
+      .field("covered_fraction", m.covered_fraction())
+      .field("mean_total_delay", m.mean_total_delay())
+      .field("mean_queueing_delay", m.mean_queueing_delay())
+      .field("mean_transmission_delay", m.mean_transmission_delay())
+      .field("max_total_delay", m.max_total_delay())
+      .field("delay_p50", m.delay_quantile(0.5))
+      .field("delay_p95", m.delay_quantile(0.95));
+  json.key("channel")
+      .begin_object()
+      .field("attempts", m.channel.attempts)
+      .field("delivered", m.channel.delivered)
+      .field("duplicates", m.channel.duplicates)
+      .field("losses", m.channel.losses)
+      .field("collisions", m.channel.collisions)
+      .field("receiver_busy", m.channel.receiver_busy)
+      .field("broadcasts", m.channel.broadcasts)
+      .field("sync_misses", m.channel.sync_misses)
+      .field("overhear_deliveries", m.channel.overhear_deliveries)
+      .field("failures", m.channel.failures())
+      .end_object();
+  json.key("energy")
+      .begin_object()
+      .field("total", result.energy.total)
+      .field("max_node", result.energy.max_node)
+      .end_object();
+  json.end_object();
+}
+
+void write_run_report(std::ostream& out, const RunReportContext& context) {
+  LDCF_REQUIRE(context.topo != nullptr && context.config != nullptr &&
+                   context.result != nullptr,
+               "run report needs topology, config and result");
+  JsonWriter json(out);
+  json.begin_object()
+      .field("schema", "ldcf.run_report.v1")
+      .field("tool", context.tool)
+      .field("protocol", context.protocol);
+  json.key("provenance");
+  write_provenance(json, Provenance::current());
+  json.field("wall_seconds", context.wall_seconds);
+  json.key("config");
+  write_sim_config(json, *context.config);
+  json.key("topology");
+  write_topology_summary(json, *context.topo);
+  json.key("result");
+  write_run_result(json, *context.result);
+  json.key("profiler");
+  write_stage_profile(json, context.result->profile);
+  if (context.metrics != nullptr) {
+    json.key("metrics");
+    write_registry(json, *context.metrics);
+  }
+  json.end_object();
+  out << '\n';
+}
+
+void write_run_report_file(const std::string& path,
+                           const RunReportContext& context) {
+  std::ofstream out(path, std::ios::trunc);
+  LDCF_REQUIRE(out.is_open(), "cannot open report file: " + path);
+  write_run_report(out, context);
+}
+
+}  // namespace ldcf::obs

@@ -1,0 +1,120 @@
+// Provenance-stamped JSON run reports.
+//
+// A run report is the machine-readable record of one simulation (or bench)
+// run: enough provenance to reproduce it (git SHA, build type/flags,
+// compiler, seed, config, topology fingerprint), the scalar results, the
+// stage-profiler timings, and every registry metric including full
+// histogram payloads — which is what lets a few lines of jq extract a
+// delay CDF and check it against Theorems 1-2 (EXPERIMENTS.md shows how).
+//
+// JsonWriter is deliberately small and reusable: a streaming emitter with
+// comma/nesting management and string escaping, used by the run-report
+// functions here, the sweep reports in analysis/, and the bench harness.
+//
+// Schema (`ldcf.run_report.v1`): top-level keys `schema`, `tool`,
+// `provenance`, `config`, `topology`, `result`, `profiler`, `metrics`.
+// Histograms serialize sparsely: only non-empty bins, as
+// {"lower": L, "count": C} at the histogram's final bin width.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ldcf/obs/registry.hpp"
+#include "ldcf/sim/engine.hpp"
+#include "ldcf/topology/topology.hpp"
+
+namespace ldcf::obs {
+
+/// Minimal streaming JSON emitter: keeps a nesting stack and inserts
+/// commas; the caller is responsible for well-formed key/value pairing
+/// (LDCF_CHECKed where cheap).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out);
+  ~JsonWriter();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; the next value/begin_* call is its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);  ///< non-finite values emit null.
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint32_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// key(name) + value(v) in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  void comma();
+
+  std::ostream& out_;
+  std::vector<bool> has_item_;  ///< per open scope: emitted an item yet?
+  bool key_pending_ = false;
+};
+
+/// Build/environment provenance captured at compile time (CMake injects
+/// the git SHA and flags into report.cpp; "unknown" when unavailable —
+/// note the SHA is the one CMake saw at configure time).
+struct Provenance {
+  std::string git_sha;
+  std::string build_type;
+  std::string compiler;
+  std::string cxx_flags;
+
+  [[nodiscard]] static Provenance current();
+};
+
+/// Order-insensitive FNV-1a-based structural fingerprint of a topology:
+/// node count plus every (from, to, prr-bits) link. Two topologies with
+/// the same nodes and links fingerprint identically; any changed PRR bit
+/// changes it.
+[[nodiscard]] std::uint64_t topology_fingerprint(
+    const topology::Topology& topo);
+
+// Report fragments, reusable by other report writers (sweep, bench): each
+// writes one value (an object) — callers pair it with a key.
+void write_provenance(JsonWriter& json, const Provenance& provenance);
+void write_topology_summary(JsonWriter& json,
+                            const topology::Topology& topo);
+void write_sim_config(JsonWriter& json, const sim::SimConfig& config);
+void write_histogram(JsonWriter& json, const Histogram& histogram);
+void write_registry(JsonWriter& json, const MetricsRegistry& registry);
+void write_stage_profile(JsonWriter& json, const sim::StageProfile& profile);
+void write_run_result(JsonWriter& json, const sim::SimResult& result);
+
+/// Everything one flood_sim-style run report needs.
+struct RunReportContext {
+  std::string tool;      ///< e.g. "flood_sim".
+  std::string protocol;  ///< protocol registry name.
+  const topology::Topology* topo = nullptr;
+  const sim::SimConfig* config = nullptr;
+  const sim::SimResult* result = nullptr;
+  const MetricsRegistry* metrics = nullptr;  ///< optional.
+  double wall_seconds = 0.0;  ///< end-to-end tool wall time.
+};
+
+/// Serialize a complete `ldcf.run_report.v1` document.
+void write_run_report(std::ostream& out, const RunReportContext& context);
+
+/// File variant; throws InvalidArgument if `path` cannot be opened.
+void write_run_report_file(const std::string& path,
+                           const RunReportContext& context);
+
+}  // namespace ldcf::obs

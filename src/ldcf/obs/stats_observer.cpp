@@ -1,0 +1,127 @@
+#include "ldcf/obs/stats_observer.hpp"
+
+#include "ldcf/sim/engine.hpp"
+
+namespace ldcf::obs {
+
+namespace {
+
+constexpr HistogramOptions kSlotHistogram{/*bin_width=*/1.0,
+                                          /*max_bins=*/64,
+                                          /*auto_range=*/true};
+constexpr HistogramOptions kEnergyHistogram{/*bin_width=*/1.0,
+                                            /*max_bins=*/64,
+                                            /*auto_range=*/true};
+
+}  // namespace
+
+StatsObserver::StatsObserver(std::size_t num_nodes, std::uint32_t num_packets)
+    : num_nodes_(num_nodes),
+      delay_total_(registry_.histogram("delay.total", kSlotHistogram)),
+      delay_queueing_(registry_.histogram("delay.queueing", kSlotHistogram)),
+      delay_transmission_(
+          registry_.histogram("delay.transmission", kSlotHistogram)),
+      delay_per_hop_(registry_.histogram("delay.per_hop", kSlotHistogram)),
+      energy_per_node_(
+          registry_.histogram("energy.per_node", kEnergyHistogram)),
+      tx_attempts_(registry_.counter("tx.attempts")),
+      tx_delivered_(registry_.counter("tx.delivered")),
+      tx_duplicate_(registry_.counter("tx.duplicate")),
+      tx_collision_(registry_.counter("tx.collision")),
+      tx_link_loss_(registry_.counter("tx.link_loss")),
+      tx_receiver_busy_(registry_.counter("tx.receiver_busy")),
+      tx_sync_miss_(registry_.counter("tx.sync_miss")),
+      tx_broadcast_(registry_.counter("tx.broadcast")),
+      delivery_unicast_(registry_.counter("delivery.unicast")),
+      delivery_overheard_(registry_.counter("delivery.overheard")),
+      overhear_heard_(registry_.counter("overhear.heard")),
+      overhear_fresh_(registry_.counter("overhear.fresh")),
+      packets_generated_(registry_.counter("packets.generated")),
+      packets_covered_(registry_.counter("packets.covered")),
+      generated_at_(num_packets, kNeverSlot),
+      first_tx_at_(num_packets, kNeverSlot),
+      copy_slot_(static_cast<std::size_t>(num_packets) * num_nodes,
+                 kNeverSlot) {
+  // Touch the run-level counters so even an empty run reports them.
+  (void)registry_.counter("slots.simulated");
+  (void)registry_.counter("runs.total");
+  (void)registry_.counter("runs.truncated");
+}
+
+void StatsObserver::on_generate(PacketId packet, SlotIndex slot) {
+  generated_at_[packet] = slot;
+  packets_generated_.inc();
+}
+
+void StatsObserver::on_tx_result(const sim::TxResult& result,
+                                 SlotIndex slot) {
+  tx_attempts_.inc();
+  if (first_tx_at_[result.intent.packet] == kNeverSlot) {
+    first_tx_at_[result.intent.packet] = slot;
+  }
+  switch (result.outcome) {
+    case sim::TxOutcome::kDelivered:
+      tx_delivered_.inc();
+      if (result.duplicate) tx_duplicate_.inc();
+      break;
+    case sim::TxOutcome::kLostChannel:
+      tx_link_loss_.inc();
+      break;
+    case sim::TxOutcome::kCollision:
+      tx_collision_.inc();
+      break;
+    case sim::TxOutcome::kReceiverBusy:
+      tx_receiver_busy_.inc();
+      break;
+    case sim::TxOutcome::kBroadcast:
+      tx_broadcast_.inc();
+      break;
+    case sim::TxOutcome::kSyncMiss:
+      tx_sync_miss_.inc();
+      break;
+  }
+}
+
+void StatsObserver::on_delivery(NodeId node, PacketId packet, NodeId from,
+                                bool overheard, SlotIndex slot) {
+  (overheard ? delivery_overheard_ : delivery_unicast_).inc();
+  // Per-hop latency: when did the transmitter itself obtain the packet?
+  // Only the source holds a packet it was never delivered; its copy dates
+  // from the generation slot.
+  const SlotIndex from_copy = copy_slot(from, packet);
+  const SlotIndex held_since =
+      from_copy != kNeverSlot ? from_copy : generated_at_[packet];
+  if (held_since != kNeverSlot && slot >= held_since) {
+    delay_per_hop_.record(static_cast<double>(slot - held_since));
+  }
+  copy_slot(node, packet) = slot;
+}
+
+void StatsObserver::on_overhear(NodeId /*listener*/, NodeId /*sender*/,
+                                PacketId /*packet*/, bool fresh,
+                                SlotIndex /*slot*/) {
+  overhear_heard_.inc();
+  if (fresh) overhear_fresh_.inc();
+}
+
+void StatsObserver::on_packet_covered(PacketId packet, SlotIndex covered_at) {
+  packets_covered_.inc();
+  const SlotIndex generated = generated_at_[packet];
+  if (generated == kNeverSlot || covered_at < generated) return;
+  delay_total_.record(static_cast<double>(covered_at - generated));
+  const SlotIndex first_tx = first_tx_at_[packet];
+  if (first_tx == kNeverSlot) return;  // covered without a transmission.
+  delay_queueing_.record(static_cast<double>(first_tx - generated));
+  delay_transmission_.record(static_cast<double>(covered_at - first_tx));
+}
+
+void StatsObserver::on_run_end(const sim::SimResult& result) {
+  for (const double charge : result.energy.per_node) {
+    energy_per_node_.record(charge);
+  }
+  registry_.counter("slots.simulated").inc(result.metrics.end_slot);
+  registry_.counter("runs.total").inc();
+  if (result.metrics.truncated) registry_.counter("runs.truncated").inc();
+}
+
+}  // namespace ldcf::obs

@@ -182,20 +182,48 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
   ctx.source = config_.source;
   protocol.initialize(ctx);
 
+  profiler_.reset(config_.profiling);
+  const std::uint64_t run_t0 = profiler_.now();
   SlotIndex t = 0;
   for (; covered_count_ < config_.num_packets; ++t) {
     if (t >= config_.max_slots) break;  // liveness guard; truncated=true.
-    stage_faults(t);
-    const std::span<const NodeId> active = stage_active(t);
+    std::span<const NodeId> active;
+    {
+      StageProfiler::Scope timed(profiler_, Stage::kFaults);
+      stage_faults(t);
+      active = stage_active(t);
+    }
     notify([&](auto& o) { o.on_slot_begin(t, active); });
-    stage_generation(t);
-    stage_intents(t, active);
-    stage_sync_miss();
-    stage_channel(active);
-    stage_energy(active);
-    stage_apply(t);
-    stage_coverage(t);
+    {
+      StageProfiler::Scope timed(profiler_, Stage::kGeneration);
+      stage_generation(t);
+    }
+    {
+      StageProfiler::Scope timed(profiler_, Stage::kIntents);
+      stage_intents(t, active);
+    }
+    {
+      StageProfiler::Scope timed(profiler_, Stage::kSyncMiss);
+      stage_sync_miss();
+    }
+    {
+      StageProfiler::Scope timed(profiler_, Stage::kChannel);
+      stage_channel(active);
+    }
+    {
+      StageProfiler::Scope timed(profiler_, Stage::kEnergy);
+      stage_energy(active);
+    }
+    {
+      StageProfiler::Scope timed(profiler_, Stage::kApply);
+      stage_apply(t);
+    }
+    {
+      StageProfiler::Scope timed(profiler_, Stage::kCoverage);
+      stage_coverage(t);
+    }
   }
+  profiler_.add_wall(run_t0, t);
 
   collector.metrics.end_slot = t;
   collector.metrics.all_covered = covered_count_ == config_.num_packets;
@@ -213,6 +241,7 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
   out.metrics = std::move(collector.metrics);
   out.tally = std::move(collector.tally);
   out.energy = compute_energy(out.tally, config_.energy);
+  out.profile = profiler_.profile();
   if (observer_ != nullptr) observer_->on_run_end(out);
 
   protocol_ = nullptr;

@@ -32,6 +32,7 @@
 #include "ldcf/sim/node_state.hpp"
 #include "ldcf/sim/observer.hpp"
 #include "ldcf/sim/perturbation.hpp"
+#include "ldcf/sim/profiler.hpp"
 #include "ldcf/topology/topology.hpp"
 
 namespace ldcf::sim {
@@ -53,12 +54,17 @@ struct SimConfig {
   /// receiver's wakeup because the sender's schedule estimate drifted
   /// (paper §III-B assumes 0; [26][27] motivate small non-zero values).
   double sync_miss_prob = 0.0;
+  /// Time the engine's stages (see profiler.hpp). Default from the
+  /// LDCF_PROFILING build option / environment variable; never affects
+  /// simulation results.
+  bool profiling = profiling_default();
 };
 
 struct SimResult {
   RunMetrics metrics;
   EnergyReport energy;
   ActivityTally tally;
+  StageProfile profile;  ///< all-zero unless SimConfig::profiling.
 };
 
 /// The built-in observer: folds the engine's event stream into the
@@ -156,6 +162,7 @@ class SimEngine {
   Channel channel_;
   PossessionState possession_;
   SlotWorkspace ws_;
+  StageProfiler profiler_;
 
   // Per-run state, reset by run().
   FloodingProtocol* protocol_ = nullptr;

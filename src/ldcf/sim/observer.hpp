@@ -15,6 +15,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "ldcf/common/types.hpp"
 #include "ldcf/sim/flooding_protocol.hpp"
@@ -60,6 +61,50 @@ class SimObserver {
 
   /// The run finished; `result` is the final, fully assembled result.
   virtual void on_run_end(const SimResult& /*result*/) {}
+};
+
+/// Fans the engine's single observer slot out to several observers, called
+/// in registration order. Observers are borrowed, not owned.
+class MultiObserver final : public SimObserver {
+ public:
+  /// Register an observer; a nullptr is ignored so callers can pass
+  /// optional observers straight through.
+  void add(SimObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  [[nodiscard]] std::size_t size() const { return observers_.size(); }
+
+  void on_slot_begin(SlotIndex slot, std::span<const NodeId> active) override {
+    for (SimObserver* o : observers_) o->on_slot_begin(slot, active);
+  }
+  void on_generate(PacketId packet, SlotIndex slot) override {
+    for (SimObserver* o : observers_) o->on_generate(packet, slot);
+  }
+  void on_tx_result(const TxResult& result, SlotIndex slot) override {
+    for (SimObserver* o : observers_) o->on_tx_result(result, slot);
+  }
+  void on_delivery(NodeId node, PacketId packet, NodeId from, bool overheard,
+                   SlotIndex slot) override {
+    for (SimObserver* o : observers_) {
+      o->on_delivery(node, packet, from, overheard, slot);
+    }
+  }
+  void on_overhear(NodeId listener, NodeId sender, PacketId packet, bool fresh,
+                   SlotIndex slot) override {
+    for (SimObserver* o : observers_) {
+      o->on_overhear(listener, sender, packet, fresh, slot);
+    }
+  }
+  void on_packet_covered(PacketId packet, SlotIndex covered_at) override {
+    for (SimObserver* o : observers_) o->on_packet_covered(packet, covered_at);
+  }
+  void on_run_end(const SimResult& result) override {
+    for (SimObserver* o : observers_) o->on_run_end(result);
+  }
+
+ private:
+  std::vector<SimObserver*> observers_;
 };
 
 }  // namespace ldcf::sim

@@ -1,0 +1,151 @@
+// Engine stage profiler: where do the slot-loop cycles go?
+//
+// SimEngine::run times each of its eight named stages (faults incl. the
+// active-set scan, generation, intents, sync-miss, channel, energy, apply,
+// coverage) behind a runtime gate. Disabled — the default — every probe is
+// a single well-predicted branch, so the hot loop stays at its benched
+// throughput; enabled, each stage pays two steady_clock reads per slot.
+//
+// The gate resolves, in priority order: SimConfig::profiling (when set),
+// the LDCF_PROFILING environment variable ("0"/"off"/"OFF"/"" disable,
+// anything else enables), and the LDCF_PROFILING CMake option, which
+// compiles the default to on (-DLDCF_PROFILING=ON ->
+// LDCF_PROFILING_DEFAULT_ON). Profiling never touches simulation state or
+// RNG draws: results are bit-identical with it on or off.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+namespace ldcf::sim {
+
+/// The engine's slot-loop stages, in execution order.
+enum class Stage : std::uint8_t {
+  kFaults = 0,  ///< fault injection + active-set scan.
+  kGeneration,
+  kIntents,
+  kSyncMiss,
+  kChannel,
+  kEnergy,
+  kApply,
+  kCoverage,
+};
+
+inline constexpr std::size_t kNumStages = 8;
+
+inline constexpr std::array<std::string_view, kNumStages> kStageNames = {
+    "faults",  "generation", "intents", "sync_miss",
+    "channel", "energy",     "apply",   "coverage"};
+
+/// Aggregated timings for one run (all zero when profiling was disabled).
+/// Summable across runs: ns, slots and wall_ns all add.
+struct StageProfile {
+  bool enabled = false;
+  std::array<std::uint64_t, kNumStages> stage_ns{};  ///< per-stage total.
+  std::uint64_t wall_ns = 0;  ///< slot loop wall time, stages + dispatch.
+  std::uint64_t slots = 0;    ///< slots executed.
+
+  [[nodiscard]] std::uint64_t total_stage_ns() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t ns : stage_ns) total += ns;
+    return total;
+  }
+
+  /// Slots simulated per wall-clock second; 0 when nothing was timed.
+  [[nodiscard]] double slots_per_sec() const {
+    if (wall_ns == 0) return 0.0;
+    return static_cast<double>(slots) * 1e9 / static_cast<double>(wall_ns);
+  }
+
+  /// This stage's fraction of the summed stage time; 0 when untimed.
+  [[nodiscard]] double stage_share(Stage stage) const {
+    const std::uint64_t total = total_stage_ns();
+    if (total == 0) return 0.0;
+    return static_cast<double>(
+               stage_ns[static_cast<std::size_t>(stage)]) /
+           static_cast<double>(total);
+  }
+
+  /// Fold another run's timings into this one (used by reduce_trials).
+  void merge(const StageProfile& other) {
+    enabled = enabled || other.enabled;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      stage_ns[s] += other.stage_ns[s];
+    }
+    wall_ns += other.wall_ns;
+    slots += other.slots;
+  }
+};
+
+/// The build/environment default for SimConfig::profiling.
+inline bool profiling_default() {
+#ifdef LDCF_PROFILING_DEFAULT_ON
+  return true;
+#else
+  const char* env = std::getenv("LDCF_PROFILING");
+  if (env == nullptr) return false;
+  const std::string_view value(env);
+  return !(value.empty() || value == "0" || value == "off" || value == "OFF");
+#endif
+}
+
+/// Accumulates stage timings for one run. Stages are timed through Scope
+/// RAII probes; when disabled the probes read no clock at all.
+class StageProfiler {
+ public:
+  void reset(bool enabled) {
+    enabled_ = enabled;
+    profile_ = StageProfile{};
+    profile_.enabled = enabled;
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] std::uint64_t now() const { return enabled_ ? clock_ns() : 0; }
+
+  void add(Stage stage, std::uint64_t t0) {
+    if (enabled_) {
+      profile_.stage_ns[static_cast<std::size_t>(stage)] += clock_ns() - t0;
+    }
+  }
+
+  void add_wall(std::uint64_t t0, std::uint64_t slots) {
+    if (enabled_) {
+      profile_.wall_ns += clock_ns() - t0;
+      profile_.slots += slots;
+    }
+  }
+
+  [[nodiscard]] const StageProfile& profile() const { return profile_; }
+
+  /// Times one stage from construction to destruction.
+  class Scope {
+   public:
+    Scope(StageProfiler& profiler, Stage stage)
+        : profiler_(profiler), stage_(stage), t0_(profiler.now()) {}
+    ~Scope() { profiler_.add(stage_, t0_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    StageProfiler& profiler_;
+    Stage stage_;
+    std::uint64_t t0_;
+  };
+
+ private:
+  [[nodiscard]] static std::uint64_t clock_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  bool enabled_ = false;
+  StageProfile profile_;
+};
+
+}  // namespace ldcf::sim

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "ldcf/common/error.hpp"
 #include "ldcf/protocols/registry.hpp"
@@ -141,6 +144,153 @@ TEST(Experiment, SweepIsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(point.delay_stddev, a[0].delay_stddev);
     EXPECT_EQ(point.energy_total, a[0].energy_total);
   }
+}
+
+// The trace-path suffix rule (satellite of the telemetry PR): a single
+// trial writes exactly the requested path; multi-trial runs splice the
+// per-trial suffix in before the extension.
+TEST(TrialTracePath, SingleTrialWritesExactlyTheGivenPath) {
+  EXPECT_EQ(trial_trace_path("out/run.jsonl", "dbao", DutyCycle{20}, 0, 1),
+            "out/run.jsonl");
+  EXPECT_EQ(trial_trace_path("run.jsonl", "opt", DutyCycle{10}, 5, 1),
+            "run.jsonl");
+  EXPECT_EQ(trial_trace_path("", "opt", DutyCycle{10}, 0, 1), "");
+}
+
+TEST(TrialTracePath, MultiTrialRunsGetPerTrialSuffixBeforeExtension) {
+  EXPECT_EQ(trial_trace_path("run.jsonl", "dbao", DutyCycle{20}, 2, 6),
+            "run-dbao-T20-r2.jsonl");
+  EXPECT_EQ(trial_trace_path("a/b/run.jsonl", "opt", DutyCycle{10}, 0, 2),
+            "a/b/run-opt-T10-r0.jsonl");
+  // No extension: the suffix simply appends.
+  EXPECT_EQ(trial_trace_path("trace", "of", DutyCycle{5}, 1, 3),
+            "trace-of-T5-r1");
+  // A dot in a directory component is not an extension.
+  EXPECT_EQ(trial_trace_path("v1.2/trace", "of", DutyCycle{5}, 1, 3),
+            "v1.2/trace-of-T5-r1");
+  EXPECT_EQ(trial_trace_path("", "of", DutyCycle{5}, 1, 3), "");
+}
+
+// reduce_trials merges registries in repetition order, but the histogram
+// algebra makes the resulting bins independent of that order.
+TEST(ReduceTrials, HistogramMergeIsIndependentOfReductionOrder) {
+  std::vector<TrialStats> trials(3);
+  trials[0].metrics.histogram("delay.total").record(1.0);
+  trials[0].metrics.histogram("delay.total").record(2.0);
+  trials[1].metrics.histogram("delay.total").record(200.0);  // coarsens.
+  trials[2].metrics.histogram("delay.total").record(3.0, 4);
+  trials[0].metrics.counter("tx.attempts").inc(10);
+  trials[1].metrics.counter("tx.attempts").inc(20);
+  trials[2].metrics.counter("tx.attempts").inc(30);
+  trials[1].truncated = true;
+
+  const ProtocolPoint forward = reduce_trials("opt", DutyCycle{10}, trials);
+  std::vector<TrialStats> reversed = {trials[2], trials[1], trials[0]};
+  const ProtocolPoint backward =
+      reduce_trials("opt", DutyCycle{10}, reversed);
+
+  EXPECT_EQ(forward.truncated_trials, 1u);
+  EXPECT_TRUE(forward.truncated);
+  EXPECT_EQ(backward.truncated_trials, 1u);
+  EXPECT_EQ(forward.metrics.counters().at("tx.attempts").value(), 60u);
+  EXPECT_EQ(backward.metrics.counters().at("tx.attempts").value(), 60u);
+
+  const auto& a = forward.metrics.histograms().at("delay.total");
+  const auto& b = backward.metrics.histograms().at("delay.total");
+  ASSERT_EQ(a.count(), 7u);
+  ASSERT_EQ(a.count(), b.count());
+  ASSERT_DOUBLE_EQ(a.bin_width(), b.bin_width());
+  for (std::size_t i = 0; i < a.num_bins(); ++i) {
+    EXPECT_EQ(a.bin_count(i), b.bin_count(i)) << "bin " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+}
+
+// Acceptance criterion of the telemetry PR: merged histograms are
+// bit-identical for any thread count, not just the scalar aggregates.
+TEST(Experiment, MergedTelemetryIsBitIdenticalAcrossThreadCounts) {
+  const auto topo = small_trace();
+  ExperimentConfig serial = quick();
+  serial.base.num_packets = 4;
+  serial.repetitions = 4;
+  serial.threads = 1;
+  serial.collect_stats = true;
+  ExperimentConfig parallel = serial;
+  parallel.threads = 4;
+
+  const auto a = run_point(topo, "dbao", DutyCycle{10}, serial);
+  const auto b = run_point(topo, "dbao", DutyCycle{10}, parallel);
+
+  ASSERT_FALSE(a.metrics.counters().empty());
+  ASSERT_EQ(a.metrics.counters().size(), b.metrics.counters().size());
+  for (const auto& [name, counter] : a.metrics.counters()) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(counter.value(), b.metrics.counters().at(name).value());
+  }
+  ASSERT_FALSE(a.metrics.histograms().empty());
+  ASSERT_EQ(a.metrics.histograms().size(), b.metrics.histograms().size());
+  for (const auto& [name, hist] : a.metrics.histograms()) {
+    SCOPED_TRACE(name);
+    const auto& other = b.metrics.histograms().at(name);
+    ASSERT_EQ(hist.num_bins(), other.num_bins());
+    EXPECT_DOUBLE_EQ(hist.bin_width(), other.bin_width());
+    EXPECT_EQ(hist.count(), other.count());
+    EXPECT_DOUBLE_EQ(hist.sum(), other.sum());
+    EXPECT_DOUBLE_EQ(hist.min(), other.min());
+    EXPECT_DOUBLE_EQ(hist.max(), other.max());
+    for (std::size_t i = 0; i < hist.num_bins(); ++i) {
+      EXPECT_EQ(hist.bin_count(i), other.bin_count(i)) << "bin " << i;
+    }
+  }
+  EXPECT_EQ(a.metrics.counters().at("runs.total").value(), 4u);
+  EXPECT_EQ(a.metrics.histograms().at("energy.per_node").count(),
+            4u * topo.num_nodes());
+}
+
+TEST(Experiment, CollectStatsOffLeavesRegistryEmpty) {
+  const auto topo = small_trace();
+  const auto point = run_point(topo, "opt", DutyCycle{10}, quick());
+  EXPECT_TRUE(point.metrics.counters().empty());
+  EXPECT_TRUE(point.metrics.histograms().empty());
+}
+
+TEST(Experiment, ReportPathWritesASweepReport) {
+  const auto topo = small_trace();
+  ExperimentConfig config = quick();
+  config.repetitions = 2;
+  const auto path = std::filesystem::temp_directory_path() /
+                    "ldcf_test_sweep_report.json";
+  config.report_path = path.string();
+  const auto point = run_point(topo, "opt", DutyCycle{10}, config);
+  // report_path implies stats collection.
+  EXPECT_FALSE(point.metrics.counters().empty());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"schema\":\"ldcf.sweep_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"tool\":\"run_point\""), std::string::npos);
+  EXPECT_NE(text.find("\"delay.total\""), std::string::npos);
+  EXPECT_NE(text.find("\"provenance\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Experiment, ProgressCallbackSeesEveryCompletion) {
+  const auto topo = small_trace();
+  ExperimentConfig config = quick();
+  config.base.num_packets = 2;
+  config.repetitions = 3;
+  config.threads = 2;
+  std::vector<std::size_t> seen;
+  config.progress = [&seen](std::size_t completed, std::size_t total) {
+    EXPECT_EQ(total, 3u);
+    seen.push_back(completed);
+  };
+  (void)run_point(topo, "opt", DutyCycle{10}, config);
+  EXPECT_EQ(seen, (std::vector<std::size_t>{1, 2, 3}));
 }
 
 TEST(EffectiveK, ReductionsAreOrderedByJensen) {

@@ -1,0 +1,229 @@
+#include "ldcf/obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::obs {
+namespace {
+
+HistogramOptions narrow(std::size_t max_bins, bool auto_range = true) {
+  HistogramOptions options;
+  options.bin_width = 1.0;
+  options.max_bins = max_bins;
+  options.auto_range = auto_range;
+  return options;
+}
+
+TEST(Histogram, EmptyHistogramIsAllZeros) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  for (std::size_t i = 0; i < h.num_bins(); ++i) {
+    EXPECT_EQ(h.bin_count(i), 0u);
+  }
+}
+
+TEST(Histogram, RejectsBadOptionsAndSamples) {
+  HistogramOptions bad_width;
+  bad_width.bin_width = 0.0;
+  EXPECT_THROW(Histogram{bad_width}, InvalidArgument);
+  HistogramOptions no_bins;
+  no_bins.max_bins = 0;
+  EXPECT_THROW(Histogram{no_bins}, InvalidArgument);
+
+  Histogram h;
+  EXPECT_THROW(h.record(-1.0), InvalidArgument);
+  EXPECT_THROW(h.record(std::numeric_limits<double>::infinity()),
+               InvalidArgument);
+  EXPECT_THROW(h.record(std::numeric_limits<double>::quiet_NaN()),
+               InvalidArgument);
+  // Zero weight is a no-op, not an error.
+  h.record(3.0, 0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, RecordsIntoUnitBins) {
+  Histogram h(narrow(8));
+  h.record(0.0);
+  h.record(0.5);
+  h.record(3.0, 4);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(3), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 12.5 / 6.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(3), 4.0);
+}
+
+// Auto-range growth: overflow doubles the width by pairwise bin merging,
+// so not a single count may be lost or moved across a (coarse) bin edge.
+TEST(Histogram, AutoRangeGrowthPreservesCounts) {
+  Histogram h(narrow(4));
+  h.record(0.0);  // bin 0
+  h.record(1.0);  // bin 1
+  h.record(2.0);  // bin 2
+  h.record(3.0);  // bin 3
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+
+  h.record(7.0);  // overflows [0,4): width doubles to 2.
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // old bins 0+1.
+  EXPECT_EQ(h.bin_count(1), 2u);  // old bins 2+3.
+  EXPECT_EQ(h.bin_count(2), 0u);
+  EXPECT_EQ(h.bin_count(3), 1u);  // the new sample, [6,8).
+
+  h.record(100.0);  // forces several more doublings: 100/width < 4.
+  EXPECT_DOUBLE_EQ(h.bin_width(), 32.0);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bin_count(0), 5u);  // everything below 32.
+  EXPECT_EQ(h.bin_count(3), 1u);  // 100 in [96,128).
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < h.num_bins(); ++i) total += h.bin_count(i);
+  EXPECT_EQ(total, h.count());
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+// With auto_range off the bins never move: overflow saturates into the
+// last bin while the exact aggregates keep the true values.
+TEST(Histogram, FixedRangeSaturatesIntoLastBin) {
+  Histogram h(narrow(4, /*auto_range=*/false));
+  h.record(2.0);
+  h.record(50.0);
+  h.record(1e9);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(3), 2u);  // both overflow samples clamp here.
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);  // aggregates are not clamped.
+}
+
+TEST(Histogram, SingleBinHistogramCollectsEverything) {
+  Histogram h(narrow(1, /*auto_range=*/false));
+  h.record(0.0);
+  h.record(123.0);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentityBothWays) {
+  Histogram a(narrow(8));
+  a.record(3.0, 5);
+  const Histogram empty(narrow(8));
+
+  Histogram a_copy = a;
+  a_copy.merge(empty);  // no-op.
+  EXPECT_EQ(a_copy.count(), 5u);
+  EXPECT_EQ(a_copy.bin_count(3), 5u);
+  EXPECT_DOUBLE_EQ(a_copy.bin_width(), 1.0);
+
+  Histogram adopt(narrow(8));
+  adopt.merge(a);  // empty adopts the populated side exactly.
+  EXPECT_EQ(adopt.count(), 5u);
+  EXPECT_EQ(adopt.bin_count(3), 5u);
+  EXPECT_DOUBLE_EQ(adopt.min(), 3.0);
+  EXPECT_DOUBLE_EQ(adopt.max(), 3.0);
+
+  Histogram both(narrow(8));
+  both.merge(empty);  // empty into empty stays empty.
+  EXPECT_EQ(both.count(), 0u);
+}
+
+TEST(Histogram, MergeRefusesDifferentOptions) {
+  Histogram a(narrow(8));
+  const Histogram wider(narrow(16));
+  EXPECT_THROW(a.merge(wider), InvalidArgument);
+  HistogramOptions other_width = narrow(8);
+  other_width.bin_width = 2.0;
+  const Histogram b(other_width);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  const Histogram fixed(narrow(8, /*auto_range=*/false));
+  EXPECT_THROW(a.merge(fixed), InvalidArgument);
+}
+
+TEST(Histogram, MergeAlignsToTheCoarserWidth) {
+  Histogram fine(narrow(4));
+  fine.record(1.0);  // width stays 1.
+  Histogram coarse(narrow(4));
+  coarse.record(7.0);  // width 2 after one doubling.
+  ASSERT_DOUBLE_EQ(coarse.bin_width(), 2.0);
+
+  // Coarse into fine: the fine side must coarsen itself first.
+  Histogram fine_copy = fine;
+  fine_copy.merge(coarse);
+  EXPECT_DOUBLE_EQ(fine_copy.bin_width(), 2.0);
+  EXPECT_EQ(fine_copy.bin_count(0), 1u);
+  EXPECT_EQ(fine_copy.bin_count(3), 1u);
+
+  // Fine into coarse: the fine counts fold pairwise on the way in.
+  coarse.merge(fine);
+  EXPECT_DOUBLE_EQ(coarse.bin_width(), 2.0);
+  EXPECT_EQ(coarse.bin_count(0), 1u);
+  EXPECT_EQ(coarse.bin_count(3), 1u);
+
+  // Both orders produced the same bins.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(fine_copy.bin_count(i), coarse.bin_count(i));
+  }
+}
+
+// The registry contract: bin counts must not depend on the order trials
+// are folded in, even when the trials coarsened to different widths.
+TEST(Histogram, MergeIsOrderIndependentOnIntegerData) {
+  const std::vector<std::vector<double>> trials = {
+      {0, 1, 2, 3},           // width 1.
+      {10, 11, 12},           // width 4 (max_bins 4).
+      {100},                  // width 32.
+      {5, 5, 5, 6},           // width 2.
+  };
+  const auto build = [&](const std::vector<double>& samples) {
+    Histogram h(narrow(4));
+    for (const double v : samples) h.record(v);
+    return h;
+  };
+  const auto fold = [&](const std::vector<std::size_t>& order) {
+    Histogram acc(narrow(4));
+    for (const std::size_t t : order) acc.merge(build(trials[t]));
+    return acc;
+  };
+  const Histogram forward = fold({0, 1, 2, 3});
+  const Histogram backward = fold({3, 2, 1, 0});
+  const Histogram shuffled = fold({2, 0, 3, 1});
+  ASSERT_EQ(forward.count(), 12u);
+  EXPECT_DOUBLE_EQ(forward.bin_width(), backward.bin_width());
+  EXPECT_DOUBLE_EQ(forward.bin_width(), shuffled.bin_width());
+  for (std::size_t i = 0; i < forward.num_bins(); ++i) {
+    EXPECT_EQ(forward.bin_count(i), backward.bin_count(i)) << "bin " << i;
+    EXPECT_EQ(forward.bin_count(i), shuffled.bin_count(i)) << "bin " << i;
+  }
+  EXPECT_EQ(forward.count(), backward.count());
+  EXPECT_DOUBLE_EQ(forward.sum(), backward.sum());
+  EXPECT_DOUBLE_EQ(forward.min(), shuffled.min());
+  EXPECT_DOUBLE_EQ(forward.max(), shuffled.max());
+}
+
+TEST(Histogram, QuantileIsNearestRankOnUnitBins) {
+  Histogram h(narrow(128));
+  for (int v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);   // clamped to rank 1.
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), 1.0);  // out-of-range clamps.
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), 100.0);
+}
+
+}  // namespace
+}  // namespace ldcf::obs

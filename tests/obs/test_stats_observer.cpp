@@ -1,0 +1,173 @@
+#include "ldcf/obs/stats_observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace ldcf::obs {
+namespace {
+
+topology::Topology small_topology() {
+  topology::ClusterConfig config;
+  config.base.num_sensors = 40;
+  config.base.area_side_m = 200.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = 9;
+  config.num_clusters = 4;
+  return topology::make_clustered(config);
+}
+
+sim::SimConfig small_config() {
+  sim::SimConfig config;
+  config.num_packets = 8;
+  config.duty = DutyCycle{10};
+  config.seed = 3;
+  config.max_slots = 2'000'000;
+  return config;
+}
+
+sim::SimResult observed_run(const std::string& protocol,
+                            const sim::SimConfig& config,
+                            StatsObserver& stats) {
+  const auto topo = small_topology();
+  const auto proto = protocols::make_protocol(protocol);
+  return sim::run_simulation(topo, config, *proto, &stats);
+}
+
+// The tentpole acceptance criterion: the per-packet delay histogram's
+// total count equals the number of covered packets, and every counter in
+// the tx breakdown matches the engine's own channel accounting.
+TEST(StatsObserver, RegistryMatchesEngineAccounting) {
+  const sim::SimConfig config = small_config();
+  const auto topo = small_topology();
+  StatsObserver stats(topo.num_nodes(), config.num_packets);
+  const sim::SimResult res = observed_run("dbao", config, stats);
+  const MetricsRegistry& reg = stats.registry();
+
+  std::uint64_t covered = 0;
+  for (const auto& rec : res.metrics.packets) {
+    if (rec.covered()) ++covered;
+  }
+  ASSERT_GT(covered, 0u);
+  EXPECT_EQ(reg.histograms().at("delay.total").count(), covered);
+  EXPECT_EQ(stats.registry().counter("packets.covered").value(), covered);
+  EXPECT_EQ(stats.registry().counter("packets.generated").value(),
+            config.num_packets);
+
+  const auto& c = res.metrics.channel;
+  EXPECT_EQ(stats.registry().counter("tx.attempts").value(), c.attempts);
+  EXPECT_EQ(stats.registry().counter("tx.delivered").value(), c.delivered);
+  EXPECT_EQ(stats.registry().counter("tx.duplicate").value(), c.duplicates);
+  EXPECT_EQ(stats.registry().counter("tx.link_loss").value(), c.losses);
+  EXPECT_EQ(stats.registry().counter("tx.collision").value(), c.collisions);
+  EXPECT_EQ(stats.registry().counter("tx.receiver_busy").value(),
+            c.receiver_busy);
+  EXPECT_EQ(stats.registry().counter("tx.broadcast").value(), c.broadcasts);
+  EXPECT_EQ(stats.registry().counter("tx.sync_miss").value(), c.sync_misses);
+  EXPECT_EQ(stats.registry().counter("delivery.overheard").value(),
+            c.overhear_deliveries);
+
+  EXPECT_EQ(stats.registry().counter("slots.simulated").value(),
+            res.metrics.end_slot);
+  EXPECT_EQ(stats.registry().counter("runs.total").value(), 1u);
+  EXPECT_EQ(stats.registry().counter("runs.truncated").value(),
+            res.metrics.truncated ? 1u : 0u);
+}
+
+TEST(StatsObserver, DelayHistogramMeanMatchesScalarMetrics) {
+  const sim::SimConfig config = small_config();
+  const auto topo = small_topology();
+  StatsObserver stats(topo.num_nodes(), config.num_packets);
+  const sim::SimResult res = observed_run("opt", config, stats);
+  ASSERT_TRUE(res.metrics.all_covered);
+  const Histogram& total = stats.registry().histogram("delay.total");
+  // Integer slot delays sum exactly in a double, so the histogram mean is
+  // bit-identical to the scalar metric.
+  EXPECT_DOUBLE_EQ(total.mean(), res.metrics.mean_total_delay());
+  const Histogram& queueing = stats.registry().histogram("delay.queueing");
+  const Histogram& transmission =
+      stats.registry().histogram("delay.transmission");
+  // Integer-slot identity: queueing + transmission = total, per packet.
+  EXPECT_EQ(queueing.count(), total.count());
+  EXPECT_EQ(transmission.count(), total.count());
+  EXPECT_DOUBLE_EQ(queueing.sum() + transmission.sum(), total.sum());
+}
+
+TEST(StatsObserver, EnergyHistogramCoversEveryNode) {
+  const sim::SimConfig config = small_config();
+  const auto topo = small_topology();
+  StatsObserver stats(topo.num_nodes(), config.num_packets);
+  const sim::SimResult res = observed_run("dbao", config, stats);
+  const Histogram& energy = stats.registry().histogram("energy.per_node");
+  EXPECT_EQ(energy.count(), topo.num_nodes());
+  EXPECT_NEAR(energy.sum(), res.energy.total, 1e-9 * res.energy.total);
+  EXPECT_DOUBLE_EQ(energy.max(), res.energy.max_node);
+}
+
+TEST(StatsObserver, PerHopDeliveriesMatchDeliveryCounters) {
+  const sim::SimConfig config = small_config();
+  const auto topo = small_topology();
+  StatsObserver stats(topo.num_nodes(), config.num_packets);
+  (void)observed_run("dbao", config, stats);
+  const auto& reg = stats.registry();
+  // Every fresh delivery (unicast or overheard) contributes one per-hop
+  // latency sample.
+  EXPECT_EQ(reg.histograms().at("delay.per_hop").count(),
+            reg.counters().at("delivery.unicast").value() +
+                reg.counters().at("delivery.overheard").value());
+}
+
+// Separate runs merge exactly: the merged registry is the same as one
+// observer watching both runs back to back.
+TEST(StatsObserver, RegistriesMergeAcrossRuns) {
+  sim::SimConfig config = small_config();
+  const auto topo = small_topology();
+
+  StatsObserver first(topo.num_nodes(), config.num_packets);
+  (void)observed_run("dbao", config, first);
+  config.seed += 1;
+  StatsObserver second(topo.num_nodes(), config.num_packets);
+  (void)observed_run("dbao", config, second);
+
+  MetricsRegistry merged;
+  merged.merge(first.registry());
+  merged.merge(second.registry());
+  EXPECT_EQ(merged.counter("runs.total").value(), 2u);
+  EXPECT_EQ(merged.counter("tx.attempts").value(),
+            first.registry().counter("tx.attempts").value() +
+                second.registry().counter("tx.attempts").value());
+  EXPECT_EQ(merged.histogram("delay.total").count(),
+            first.registry().histogram("delay.total").count() +
+                second.registry().histogram("delay.total").count());
+  EXPECT_EQ(merged.histogram("energy.per_node").count(),
+            2u * topo.num_nodes());
+}
+
+// MultiObserver fan-out: both observers see the identical event stream,
+// and a null observer is ignored.
+TEST(MultiObserver, FansOutToEveryRegisteredObserver) {
+  const sim::SimConfig config = small_config();
+  const auto topo = small_topology();
+  StatsObserver a(topo.num_nodes(), config.num_packets);
+  StatsObserver b(topo.num_nodes(), config.num_packets);
+  sim::MultiObserver fan_out;
+  fan_out.add(&a);
+  fan_out.add(nullptr);
+  fan_out.add(&b);
+  EXPECT_EQ(fan_out.size(), 2u);
+  const auto proto = protocols::make_protocol("dbao");
+  (void)sim::run_simulation(topo, config, *proto, &fan_out);
+  EXPECT_GT(a.registry().counter("tx.attempts").value(), 0u);
+  EXPECT_EQ(a.registry().counter("tx.attempts").value(),
+            b.registry().counter("tx.attempts").value());
+  EXPECT_EQ(a.registry().histogram("delay.total").count(),
+            b.registry().histogram("delay.total").count());
+}
+
+}  // namespace
+}  // namespace ldcf::obs

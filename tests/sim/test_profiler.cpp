@@ -1,0 +1,133 @@
+#include "ldcf/sim/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace ldcf::sim {
+namespace {
+
+TEST(StageProfile, StartsZeroAndSharesAreSafeOnEmpty) {
+  const StageProfile profile;
+  EXPECT_FALSE(profile.enabled);
+  EXPECT_EQ(profile.total_stage_ns(), 0u);
+  EXPECT_DOUBLE_EQ(profile.slots_per_sec(), 0.0);
+  EXPECT_DOUBLE_EQ(profile.stage_share(Stage::kChannel), 0.0);
+}
+
+TEST(StageProfile, MergeSumsEveryField) {
+  StageProfile a;
+  a.enabled = true;
+  a.stage_ns[0] = 100;
+  a.stage_ns[7] = 50;
+  a.wall_ns = 1000;
+  a.slots = 10;
+  StageProfile b;
+  b.stage_ns[0] = 25;
+  b.wall_ns = 500;
+  b.slots = 5;
+  a.merge(b);
+  EXPECT_TRUE(a.enabled);
+  EXPECT_EQ(a.stage_ns[0], 125u);
+  EXPECT_EQ(a.stage_ns[7], 50u);
+  EXPECT_EQ(a.total_stage_ns(), 175u);
+  EXPECT_EQ(a.wall_ns, 1500u);
+  EXPECT_EQ(a.slots, 15u);
+  EXPECT_DOUBLE_EQ(a.slots_per_sec(), 15.0 * 1e9 / 1500.0);
+  EXPECT_DOUBLE_EQ(a.stage_share(Stage::kFaults), 125.0 / 175.0);
+  EXPECT_DOUBLE_EQ(a.stage_share(Stage::kCoverage), 50.0 / 175.0);
+}
+
+TEST(StageProfiler, DisabledProfilerRecordsNothing) {
+  StageProfiler profiler;
+  profiler.reset(false);
+  {
+    StageProfiler::Scope timed(profiler, Stage::kChannel);
+  }
+  profiler.add_wall(profiler.now(), 42);
+  EXPECT_FALSE(profiler.profile().enabled);
+  EXPECT_EQ(profiler.profile().total_stage_ns(), 0u);
+  EXPECT_EQ(profiler.profile().slots, 0u);
+}
+
+TEST(StageProfiler, EnabledScopesAccumulateAndResetClears) {
+  StageProfiler profiler;
+  profiler.reset(true);
+  const std::uint64_t t0 = profiler.now();
+  for (int i = 0; i < 100; ++i) {
+    StageProfiler::Scope timed(profiler, Stage::kApply);
+  }
+  profiler.add_wall(t0, 100);
+  EXPECT_TRUE(profiler.profile().enabled);
+  EXPECT_EQ(profiler.profile().slots, 100u);
+  EXPECT_GT(profiler.profile().wall_ns, 0u);
+  EXPECT_GE(profiler.profile().wall_ns,
+            profiler.profile().stage_ns[static_cast<std::size_t>(
+                Stage::kApply)]);
+  EXPECT_GT(profiler.profile().slots_per_sec(), 0.0);
+
+  profiler.reset(false);
+  EXPECT_EQ(profiler.profile().slots, 0u);
+  EXPECT_EQ(profiler.profile().total_stage_ns(), 0u);
+}
+
+TEST(StageNames, MatchTheEngineStageOrder) {
+  ASSERT_EQ(kStageNames.size(), kNumStages);
+  EXPECT_EQ(kStageNames[static_cast<std::size_t>(Stage::kFaults)], "faults");
+  EXPECT_EQ(kStageNames[static_cast<std::size_t>(Stage::kCoverage)],
+            "coverage");
+}
+
+// The profiler's core contract: timing the run must not change it.
+TEST(EngineProfiling, ResultsAreBitIdenticalWithProfilingOnAndOff) {
+  topology::ClusterConfig gen;
+  gen.base.num_sensors = 40;
+  gen.base.area_side_m = 200.0;
+  gen.base.radio.path_loss_exponent = 3.3;
+  gen.base.seed = 9;
+  gen.num_clusters = 4;
+  const topology::Topology topo = topology::make_clustered(gen);
+
+  SimConfig config;
+  config.num_packets = 6;
+  config.duty = DutyCycle{10};
+  config.seed = 3;
+  config.max_slots = 2'000'000;
+
+  for (const char* name : {"dbao", "opt"}) {
+    SCOPED_TRACE(name);
+    config.profiling = false;
+    auto proto_off = protocols::make_protocol(name);
+    const SimResult off = run_simulation(topo, config, *proto_off);
+    config.profiling = true;
+    auto proto_on = protocols::make_protocol(name);
+    const SimResult on = run_simulation(topo, config, *proto_on);
+
+    EXPECT_EQ(off.metrics.end_slot, on.metrics.end_slot);
+    EXPECT_EQ(off.metrics.channel.attempts, on.metrics.channel.attempts);
+    EXPECT_EQ(off.metrics.channel.delivered, on.metrics.channel.delivered);
+    EXPECT_EQ(off.energy.total, on.energy.total);
+
+    // Off: the profile stays all-zero. On: it covers every slot and the
+    // stage sum is bounded by the loop wall time.
+    EXPECT_FALSE(off.profile.enabled);
+    EXPECT_EQ(off.profile.slots, 0u);
+    EXPECT_EQ(off.profile.total_stage_ns(), 0u);
+    EXPECT_TRUE(on.profile.enabled);
+    EXPECT_EQ(on.profile.slots, on.metrics.end_slot);
+    EXPECT_GT(on.profile.total_stage_ns(), 0u);
+    EXPECT_GE(on.profile.wall_ns, on.profile.total_stage_ns());
+    double share_sum = 0.0;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      share_sum += on.profile.stage_share(static_cast<Stage>(s));
+    }
+    EXPECT_NEAR(share_sum, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ldcf::sim
