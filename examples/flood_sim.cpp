@@ -14,6 +14,7 @@
 //     --source NODE      flooding source node (default 0)
 //     --slots-per-period K  active slots per period (default 1)
 //     --packets M        number of flooded packets (default 100)
+//     --spacing K        slots between packet generations (default 1)
 //     --seed S           run seed (default 7)
 //     --coverage F       coverage fraction (default 0.99)
 //     --kill NODE@SLOT   inject a node death (repeatable)
@@ -26,6 +27,10 @@
 //                        timings, delay/energy histograms (enables the
 //                        stage profiler for the run)
 //     --progress         print completion/ETA to stderr (--reps mode)
+//     --analyze          run the causal trace analyzer on the run: prints
+//                        dissemination trees, delay waterfalls and theory
+//                        conformance (single run); with --reps, counts
+//                        trials violating the paper's bounds
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +44,7 @@
 #include "ldcf/analysis/table.hpp"
 #include "ldcf/obs/report.hpp"
 #include "ldcf/obs/stats_observer.hpp"
+#include "ldcf/obs/trace_analysis.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/sim/simulator.hpp"
 #include "ldcf/sim/trace_observer.hpp"
@@ -107,6 +113,7 @@ int run_cli(int argc, char** argv) {
   std::string trace_path;  // JSONL event-trace output (see trace_observer.hpp).
   std::string report_path;  // JSON run report (see obs/report.hpp).
   bool show_progress = false;
+  bool analyze = false;
   std::uint32_t sensors = 298;
   std::uint64_t topo_seed = 1;
   double duty_pct = 5.0;
@@ -133,6 +140,8 @@ int run_cli(int argc, char** argv) {
       report_path = next();
     } else if (arg == "--progress") {
       show_progress = true;
+    } else if (arg == "--analyze") {
+      analyze = true;
     } else if (arg == "--sensors") {
       sensors = static_cast<std::uint32_t>(parse_u64(next()));
     } else if (arg == "--topo-seed") {
@@ -145,6 +154,8 @@ int run_cli(int argc, char** argv) {
       config.source = static_cast<NodeId>(parse_u64(next()));
     } else if (arg == "--packets") {
       config.num_packets = static_cast<std::uint32_t>(parse_u64(next()));
+    } else if (arg == "--spacing") {
+      config.packet_spacing = static_cast<std::uint32_t>(parse_u64(next()));
     } else if (arg == "--seed") {
       config.seed = parse_u64(next());
     } else if (arg == "--coverage") {
@@ -215,6 +226,7 @@ int run_cli(int argc, char** argv) {
     experiment.threads = threads;
     experiment.trace_path = trace_path;  // per-trial suffix added downstream.
     experiment.report_path = report_path;
+    experiment.check_conformance = analyze;
     if (show_progress) experiment.progress = make_progress_printer();
     const analysis::ProtocolPoint point =
         analysis::run_point(topo, protocol, config.duty, experiment);
@@ -232,6 +244,10 @@ int run_cli(int argc, char** argv) {
               << " duplicates\n";
     std::cout << "  energy per run: " << point.energy_total
               << ", est. lifetime " << point.lifetime_slots << " slots\n";
+    if (analyze) {
+      std::cout << "  conformance: " << point.violating_trials << " of "
+                << reps << " trials violate the paper's bounds\n";
+    }
     return point.all_covered ? 0 : 1;
   }
 
@@ -243,6 +259,8 @@ int run_cli(int argc, char** argv) {
   if (!report_path.empty()) {
     fan_out.add(&stats.emplace(topo.num_nodes(), config.num_packets));
   }
+  std::optional<obs::FlightRecorder> recorder;
+  if (analyze) fan_out.add(&recorder.emplace());
   const sim::SimResult result = sim::run_simulation(
       topo, config, *proto, fan_out.size() > 0 ? &fan_out : nullptr);
   if (!report_path.empty()) {
@@ -259,6 +277,15 @@ int run_cli(int argc, char** argv) {
   if (result.metrics.truncated) {
     std::cerr << "flood_sim: warning: run stopped at max_slots ("
               << config.max_slots << ") before reaching coverage\n";
+  }
+  if (recorder) {
+    obs::TraceAnalysisOptions options;
+    options.num_sensors = topo.num_sensors();
+    options.duty_period = config.duty.period;
+    options.source = config.source;
+    const obs::TraceAnalysis analysis =
+        obs::analyze_trace(recorder->events(), options);
+    obs::print_trace_analysis(std::cout, analysis);
   }
 
   if (csv) {

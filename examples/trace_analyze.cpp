@@ -1,0 +1,151 @@
+// trace_analyze — explain a recorded run: dissemination trees, delay
+// waterfalls, and theory-conformance verdicts from a JSONL event trace
+// (flood_sim --trace, protocol_comparison --trace, ExperimentConfig::
+// trace_path).
+//
+//   trace_analyze <trace.jsonl> [options]
+//     --topo FILE     topology trace of the run (supplies N exactly)
+//     --sensors N     N when no --topo (default: derived from the trace)
+//     --period T      working-schedule period T in slots (enables the
+//                     Theorem 2 envelope check)
+//     --duty PCT      same as --period round(100/PCT)
+//     --source NODE   flooding source node (default 0)
+//     --slack F       fractional slack widening the Theorem 2 envelope
+//                     (default 0; the envelope bounds an expectation)
+//     --report PATH   write an ldcf.trace_analysis.v1 JSON report
+//     --dot PKT:PATH  write packet PKT's dissemination tree as Graphviz dot
+//                     (repeatable; render with: dot -Tsvg PATH > tree.svg)
+//     --quiet         suppress the text rendering
+//
+// Exit status: 0 = no conformance violations, 1 = violations detected,
+// 2 = usage or input errors.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ldcf/obs/trace_analysis.hpp"
+#include "ldcf/topology/trace_io.hpp"
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "trace_analyze: " << message
+            << " (see header comment for usage)\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* text, const std::string& what) {
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') usage_error("bad " + what + ": " + text);
+  return value;
+}
+
+double parse_double(const char* text, const std::string& what) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') usage_error("bad " + what + ": " + text);
+  return value;
+}
+
+}  // namespace
+
+int run_cli(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_analyze: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int run_cli(int argc, char** argv) {
+  using namespace ldcf;
+
+  if (argc < 2) usage_error("missing trace file");
+  const std::string trace_path = argv[1];
+  std::string topo_path;
+  std::string report_path;
+  std::vector<std::pair<PacketId, std::string>> dot_requests;
+  bool quiet = false;
+  obs::TraceAnalysisOptions options;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--topo") {
+      topo_path = next();
+    } else if (arg == "--sensors") {
+      options.num_sensors = parse_u64(next(), "--sensors");
+    } else if (arg == "--period") {
+      options.duty_period =
+          static_cast<std::uint32_t>(parse_u64(next(), "--period"));
+    } else if (arg == "--duty") {
+      const double pct = parse_double(next(), "--duty");
+      if (pct <= 0.0 || pct > 100.0) usage_error("--duty wants (0, 100]");
+      options.duty_period = DutyCycle::from_ratio(pct / 100.0).period;
+    } else if (arg == "--source") {
+      options.source = static_cast<NodeId>(parse_u64(next(), "--source"));
+    } else if (arg == "--slack") {
+      options.fdl_slack = parse_double(next(), "--slack");
+    } else if (arg == "--report") {
+      report_path = next();
+    } else if (arg == "--dot") {
+      const std::string spec = next();
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= spec.size()) {
+        usage_error("--dot wants PKT:PATH");
+      }
+      dot_requests.emplace_back(
+          static_cast<PacketId>(
+              parse_u64(spec.substr(0, colon).c_str(), "--dot packet")),
+          spec.substr(colon + 1));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage_error("unknown option " + arg);
+    }
+  }
+
+  if (!topo_path.empty()) {
+    const topology::Topology topo = topology::read_trace_file(topo_path);
+    options.num_sensors = topo.num_sensors();
+  }
+
+  const obs::TraceAnalysis analysis =
+      obs::analyze_trace_file(trace_path, options);
+
+  if (!quiet) obs::print_trace_analysis(std::cout, analysis);
+
+  for (const auto& [packet, path] : dot_requests) {
+    const obs::DisseminationTree* tree = analysis.tree(packet);
+    if (tree == nullptr) {
+      usage_error("--dot names packet " + std::to_string(packet) +
+                  ", which the trace never mentions");
+    }
+    obs::write_tree_dot_file(path, *tree);
+    if (!quiet) {
+      std::cout << "wrote " << path << " (render: dot -Tsvg " << path
+                << " > tree.svg)\n";
+    }
+  }
+
+  if (!report_path.empty()) {
+    obs::TraceAnalysisReportContext context;
+    context.tool = "trace_analyze";
+    context.trace_path = trace_path;
+    context.analysis = &analysis;
+    obs::write_trace_analysis_report_file(report_path, context);
+    if (!quiet) std::cout << "wrote " << report_path << "\n";
+  }
+
+  return analysis.conformance.conformant() ? 0 : 1;
+}

@@ -37,27 +37,43 @@ int cmd_gen(int argc, char** argv) {
   config.base.seed = 1;
   config.num_clusters = 18;
   config.cluster_sigma_m = 34.0;
-  for (int i = 3; i + 1 < argc; i += 2) {
+  // --area / --clusters always win over the density defaults that
+  // --sensors implies, no matter the flag order; a flag missing its value
+  // is an error, not silently dropped.
+  bool explicit_area = false;
+  bool explicit_clusters = false;
+  for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
-    const char* value = argv[i + 1];
+    if (i + 1 >= argc) {
+      std::cerr << "trace_tool: missing value for " << arg << "\n";
+      usage();
+    }
+    const char* value = argv[++i];
     if (arg == "--sensors") {
       config.base.num_sensors =
           static_cast<std::uint32_t>(std::stoul(value));
-      // Keep density roughly constant when resizing.
-      config.base.area_side_m =
-          560.0 * std::sqrt(config.base.num_sensors / 298.0);
-      config.num_clusters =
-          std::max(4u, config.base.num_sensors / 17u);
     } else if (arg == "--seed") {
       config.base.seed = std::stoull(value);
     } else if (arg == "--area") {
       config.base.area_side_m = std::stod(value);
+      explicit_area = true;
     } else if (arg == "--clusters") {
       config.num_clusters = static_cast<std::uint32_t>(std::stoul(value));
+      explicit_clusters = true;
     } else if (arg == "--exponent") {
       config.base.radio.path_loss_exponent = std::stod(value);
     } else {
       usage();
+    }
+  }
+  // Keep density roughly constant when resizing, unless overridden.
+  if (config.base.num_sensors != 298) {
+    if (!explicit_area) {
+      config.base.area_side_m =
+          560.0 * std::sqrt(config.base.num_sensors / 298.0);
+    }
+    if (!explicit_clusters) {
+      config.num_clusters = std::max(4u, config.base.num_sensors / 17u);
     }
   }
   const Topology topo = make_clustered(config);

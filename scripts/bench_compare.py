@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench report against the committed reference.
+
+    scripts/bench_compare.py [--fresh BENCH_engine.json]
+                             [--reference BENCH_engine.json]
+                             [--min-ratio 0.25]
+
+Reads two ldcf.bench_report.v1 files and, per protocol common to both:
+
+  * checks `slots` and `attempts` match exactly when the bench configs are
+    identical (same packets / nodes / seed / topology fingerprint) — the
+    engine is deterministic, so any drift there is a correctness bug, not
+    noise;
+  * checks `slots_per_sec` is at least `--min-ratio` times the reference
+    throughput — a generous floor that catches order-of-magnitude
+    regressions without tripping on CI machine variance.
+
+Exit status: 0 = all checks pass, 1 = regression detected, 2 = bad input.
+Only the standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    if report.get("schema") != "ldcf.bench_report.v1":
+        sys.exit(f"bench_compare: {path} is not an ldcf.bench_report.v1 file")
+    return report
+
+
+def by_protocol(report):
+    return {row["protocol"]: row for row in report.get("results", [])}
+
+
+def same_workload(fresh, reference):
+    """Determinism checks only make sense on the identical workload."""
+    fresh_config = dict(fresh.get("config", {}))
+    ref_config = dict(reference.get("config", {}))
+    fresh_config.pop("best_of", None)  # repetitions affect timing only.
+    ref_config.pop("best_of", None)
+    same_topo = fresh.get("topology", {}).get("fingerprint") == reference.get(
+        "topology", {}
+    ).get("fingerprint")
+    return fresh_config == ref_config and same_topo
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff a fresh bench report against the committed reference"
+    )
+    parser.add_argument("--fresh", default="BENCH_engine.json")
+    parser.add_argument("--reference", default="BENCH_engine.json")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.25,
+        help="minimum fresh/reference slots_per_sec per protocol "
+        "(default 0.25)",
+    )
+    args = parser.parse_args()
+
+    fresh = load_report(args.fresh)
+    reference = load_report(args.reference)
+    fresh_rows = by_protocol(fresh)
+    ref_rows = by_protocol(reference)
+    check_exact = same_workload(fresh, reference)
+    if not check_exact:
+        print(
+            "bench_compare: configs differ; skipping exact slots/attempts "
+            "checks (throughput floor still applies)"
+        )
+
+    shared = [name for name in ref_rows if name in fresh_rows]
+    if not shared:
+        sys.exit("bench_compare: no common protocols between the reports")
+    missing = [name for name in ref_rows if name not in fresh_rows]
+    if missing:
+        print(f"bench_compare: note: fresh report lacks {', '.join(missing)}")
+
+    failures = 0
+    for name in shared:
+        fresh_row = fresh_rows[name]
+        ref_row = ref_rows[name]
+        ratio = fresh_row["slots_per_sec"] / ref_row["slots_per_sec"]
+        status = "ok"
+        if check_exact and (
+            fresh_row["slots"] != ref_row["slots"]
+            or fresh_row["attempts"] != ref_row["attempts"]
+        ):
+            status = (
+                "DETERMINISM DRIFT: "
+                f"slots {fresh_row['slots']} vs {ref_row['slots']}, "
+                f"attempts {fresh_row['attempts']} vs {ref_row['attempts']}"
+            )
+            failures += 1
+        elif ratio < args.min_ratio:
+            status = f"THROUGHPUT REGRESSION: ratio {ratio:.3f} < {args.min_ratio}"
+            failures += 1
+        print(
+            f"  {name:8s} {fresh_row['slots_per_sec']:>12.0f} slots/s "
+            f"(reference {ref_row['slots_per_sec']:>12.0f}, "
+            f"ratio {ratio:.2f})  {status}"
+        )
+
+    if failures:
+        print(f"bench_compare: {failures} protocol(s) regressed")
+        return 1
+    print(f"bench_compare: {len(shared)} protocol(s) within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

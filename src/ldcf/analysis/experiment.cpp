@@ -9,6 +9,7 @@
 #include "ldcf/analysis/report.hpp"
 #include "ldcf/common/error.hpp"
 #include "ldcf/obs/stats_observer.hpp"
+#include "ldcf/obs/trace_analysis.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/sim/trace_observer.hpp"
 #include "ldcf/topology/tree.hpp"
@@ -18,7 +19,8 @@ namespace ldcf::analysis {
 TrialStats run_trial(const topology::Topology& topo,
                      const std::string& protocol,
                      const sim::SimConfig& config,
-                     const std::string& trace_path, bool collect_stats) {
+                     const std::string& trace_path, bool collect_stats,
+                     bool check_conformance) {
   const auto proto = protocols::make_protocol(protocol);
   // Optional observers share the engine's single observer slot through a
   // MultiObserver; the common no-observer path skips the fan-out entirely.
@@ -29,10 +31,22 @@ TrialStats run_trial(const topology::Topology& topo,
   if (collect_stats) {
     fan_out.add(&stats_observer.emplace(topo.num_nodes(), config.num_packets));
   }
+  std::optional<obs::FlightRecorder> recorder;
+  if (check_conformance) fan_out.add(&recorder.emplace());
   const sim::SimResult res = sim::run_simulation(
       topo, config, *proto, fan_out.size() > 0 ? &fan_out : nullptr);
   TrialStats stats;
   if (stats_observer) stats.metrics = std::move(stats_observer->registry());
+  if (recorder) {
+    obs::TraceAnalysisOptions options;
+    options.num_sensors = topo.num_sensors();
+    options.duty_period = config.duty.period;
+    options.source = config.source;
+    const obs::TraceAnalysis analysis =
+        obs::analyze_trace(recorder->events(), options);
+    stats.conformance_checked = true;
+    stats.conformance_violations = analysis.conformance.violations();
+  }
   stats.profile = res.profile;
   stats.mean_delay = res.metrics.mean_total_delay();
   stats.mean_queueing_delay = res.metrics.mean_queueing_delay();
@@ -67,6 +81,9 @@ ProtocolPoint reduce_trials(const std::string& protocol, DutyCycle duty,
     point.all_covered = point.all_covered && t.all_covered;
     point.truncated = point.truncated || t.truncated;
     if (t.truncated) ++point.truncated_trials;
+    if (t.conformance_checked && t.conformance_violations > 0) {
+      ++point.violating_trials;
+    }
     point.metrics.merge(t.metrics);
     point.profile.merge(t.profile);
   }
@@ -153,7 +170,7 @@ ProtocolPoint run_point(const topology::Topology& topo,
             topo, protocol, trial_config(config, duty, r),
             trial_trace_path(config.trace_path, protocol, duty, r,
                              trials.size()),
-            wants_stats(config));
+            wants_stats(config), config.check_conformance);
       },
       config.progress);
   ProtocolPoint point = reduce_trials(protocol, duty, trials);
@@ -196,7 +213,7 @@ std::vector<ProtocolPoint> run_duty_sweep(
             topo, protocol, trial_config(config, duty, rep),
             trial_trace_path(config.trace_path, protocol, duty, rep,
                              trials.size()),
-            wants_stats(config));
+            wants_stats(config), config.check_conformance);
       },
       config.progress);
 

@@ -28,6 +28,10 @@ struct ProtocolPoint {
   bool all_covered = true;
   bool truncated = false;           ///< any repetition hit max_slots.
   std::uint32_t truncated_trials = 0;  ///< how many repetitions hit it.
+  /// Repetitions whose trace analysis reported at least one theory
+  /// violation (see obs/trace_analysis.hpp); counted only when
+  /// ExperimentConfig::check_conformance is on.
+  std::uint32_t violating_trials = 0;
   /// Telemetry merged across the point's trials in repetition order
   /// (bit-identical for any thread count). Empty unless the experiment
   /// collected stats (ExperimentConfig::collect_stats / report_path).
@@ -56,6 +60,11 @@ struct ExperimentConfig {
   /// When non-empty, run_point / run_duty_sweep write a provenance-stamped
   /// JSON sweep report here (see analysis/report.hpp).
   std::string report_path;
+  /// Attach a FlightRecorder to every trial and evaluate the run against
+  /// the paper's bounds (Lemma 1/2 growth, Lemma 2 FWL floor, Corollary 1
+  /// blocking window, Theorem 2 FDL envelope — see obs/trace_analysis.hpp);
+  /// violating trials are counted per point the way truncated ones are.
+  bool check_conformance = false;
   /// Completion callback forwarded to the parallel executor; see
   /// ProgressFn in parallel.hpp for the threading contract.
   ProgressFn progress;
@@ -74,6 +83,9 @@ struct TrialStats {
   double lifetime_slots = 0.0;
   bool all_covered = true;
   bool truncated = false;
+  bool conformance_checked = false;  ///< trace analysis ran for this trial.
+  /// Failed applicable conformance checks (0 when unchecked or clean).
+  std::uint32_t conformance_violations = 0;
   obs::MetricsRegistry metrics;  ///< populated when collect_stats is on.
   sim::StageProfile profile;     ///< populated when config.profiling is on.
 };
@@ -81,12 +93,15 @@ struct TrialStats {
 /// One simulation run of `protocol` under exactly `config` (duty and seed
 /// already set). Self-contained: safe to run concurrently with other trials.
 /// A non-empty `trace_path` attaches a TraceObserver writing JSONL there;
-/// `collect_stats` attaches a StatsObserver and returns its registry.
+/// `collect_stats` attaches a StatsObserver and returns its registry;
+/// `check_conformance` attaches a FlightRecorder and fills the trial's
+/// conformance verdict from obs::analyze_trace.
 [[nodiscard]] TrialStats run_trial(const topology::Topology& topo,
                                    const std::string& protocol,
                                    const sim::SimConfig& config,
                                    const std::string& trace_path = {},
-                                   bool collect_stats = false);
+                                   bool collect_stats = false,
+                                   bool check_conformance = false);
 
 /// Index-ordered reduction of per-repetition trials into a ProtocolPoint.
 /// delay_stddev is the population stddev of the per-trial mean delays,

@@ -25,7 +25,8 @@ void write_point(obs::JsonWriter& json, const ProtocolPoint& point) {
       .field("lifetime_slots", point.lifetime_slots)
       .field("all_covered", point.all_covered)
       .field("truncated", point.truncated)
-      .field("truncated_trials", point.truncated_trials);
+      .field("truncated_trials", point.truncated_trials)
+      .field("violating_trials", point.violating_trials);
   json.key("profiler");
   obs::write_stage_profile(json, point.profile);
   json.key("metrics");

@@ -384,5 +384,55 @@ TEST(Experiment, PacketSeriesDelayDecomposesForEveryProtocol) {
   }
 }
 
+TEST(Experiment, ConformanceOffLeavesTrialsUnchecked) {
+  const auto topo = small_trace();
+  const TrialStats stats = run_trial(topo, "opt", quick().base);
+  EXPECT_FALSE(stats.conformance_checked);
+  EXPECT_EQ(stats.conformance_violations, 0u);
+  const auto point = run_point(topo, "opt", DutyCycle{10}, quick());
+  EXPECT_EQ(point.violating_trials, 0u);
+}
+
+TEST(Experiment, ConformanceCountsViolatingTrials) {
+  // The lossy default topology blows past the Theorem 2 envelope (that is
+  // the check's purpose), so every trial should register as violating —
+  // and the count must be bit-identical across thread counts.
+  const auto topo = small_trace();
+  ExperimentConfig config = quick();
+  config.base.duty = DutyCycle{10};
+  config.repetitions = 3;
+  config.check_conformance = true;
+
+  config.threads = 1;
+  const auto serial = run_point(topo, "of", DutyCycle{10}, config);
+  config.threads = 3;
+  const auto threaded = run_point(topo, "of", DutyCycle{10}, config);
+
+  EXPECT_EQ(serial.violating_trials, threaded.violating_trials);
+  EXPECT_GT(serial.violating_trials, 0u);
+  EXPECT_LE(serial.violating_trials, config.repetitions);
+  // The flight recorder must not perturb the run it watches.
+  EXPECT_DOUBLE_EQ(serial.mean_delay, threaded.mean_delay);
+  EXPECT_DOUBLE_EQ(serial.attempts, threaded.attempts);
+}
+
+TEST(Experiment, ConformanceReachesTheSweepReport) {
+  const auto topo = small_trace();
+  ExperimentConfig config = quick();
+  config.repetitions = 2;
+  config.check_conformance = true;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ldcf_conf_report.json")
+          .string();
+  config.report_path = path;
+  (void)run_point(topo, "opt", DutyCycle{10}, config);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"violating_trials\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace ldcf::analysis

@@ -133,6 +133,64 @@ TEST(TraceObserver, ElidesIdleSlotsByDefault) {
   EXPECT_GT(elided, 0u);
 }
 
+// include_idle_slots=true must log every simulated slot exactly once, in
+// order, and the round-tripped events must carry the right slot indices.
+TEST(TraceObserver, FullTraceLogsEverySlotInOrder) {
+  const topology::Topology topo = small_topology();
+  std::stringstream trace;
+  sim::TraceObserver observer(trace, /*include_idle_slots=*/true);
+  auto proto = protocols::make_protocol("dbao");
+  const sim::SimResult res =
+      sim::run_simulation(topo, small_config(), *proto, &observer);
+
+  SlotIndex expected = 0;
+  for (const auto& ev : sim::read_event_trace(trace)) {
+    if (ev.kind != sim::TraceEvent::Kind::kSlotBegin) continue;
+    EXPECT_EQ(ev.slot, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, res.metrics.end_slot);
+}
+
+// The elision contract, exactly: the elided trace is the full trace minus
+// the slot_begin lines of slots that produced no other event (the trailing
+// idle slot included). Everything else matches line for line.
+TEST(TraceObserver, ElidedTraceIsFullTraceMinusIdleSlotBegins) {
+  const topology::Topology topo = small_topology();
+  const sim::SimConfig config = small_config();
+  auto record = [&](bool include_idle) {
+    std::stringstream trace;
+    sim::TraceObserver observer(trace, include_idle);
+    auto proto = protocols::make_protocol("opt");
+    (void)sim::run_simulation(topo, config, *proto, &observer);
+    return sim::read_event_trace(trace);
+  };
+  const std::vector<sim::TraceEvent> full = record(true);
+  const std::vector<sim::TraceEvent> elided = record(false);
+
+  // A slot_begin survives elision iff another event follows it before the
+  // next slot_begin (run_end does not rescue a trailing idle slot).
+  std::vector<sim::TraceEvent> expected;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (full[i].kind == sim::TraceEvent::Kind::kSlotBegin) {
+      const bool busy = i + 1 < full.size() &&
+                        full[i + 1].kind != sim::TraceEvent::Kind::kSlotBegin &&
+                        full[i + 1].kind != sim::TraceEvent::Kind::kRunEnd;
+      if (!busy) continue;
+    }
+    expected.push_back(full[i]);
+  }
+
+  ASSERT_EQ(elided.size(), expected.size());
+  for (std::size_t i = 0; i < elided.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(elided[i].kind, expected[i].kind);
+    EXPECT_EQ(elided[i].slot, expected[i].slot);
+    EXPECT_EQ(elided[i].active, expected[i].active);
+    EXPECT_EQ(elided[i].packet, expected[i].packet);
+  }
+}
+
 TEST(TraceObserver, ReaderRejectsMalformedLines) {
   std::stringstream bad_kind("{\"event\":\"nope\"}\n");
   EXPECT_THROW((void)sim::read_event_trace(bad_kind), InvalidArgument);
