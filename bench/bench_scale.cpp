@@ -1,0 +1,206 @@
+// Large-N scaling benchmark: topology construction throughput and engine
+// slot throughput at 1k / 10k / 100k nodes (clustered GreenOrbs density,
+// order-independent pair-keyed link RNG). Construction must scale near
+// linearly in N — the spatial hash grid replaced the historical all-pairs
+// O(N^2) loop precisely to make the 100k row of this bench finishable.
+//
+// Env knobs: LDCF_SCALE_NODES (comma-separated sensor counts, default
+// "1000,10000,100000"), LDCF_SCALE_MAX_SLOTS (sim segment bound, default
+// 5000), LDCF_BENCH_PACKETS (default 2), LDCF_BENCH_REPS (best-of, default
+// 3), LDCF_BENCH_REPORT (JSON output path, default BENCH_scale.json; empty
+// disables it).
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ldcf/analysis/table.hpp"
+#include "ldcf/obs/report.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace {
+
+struct ScaleRow {
+  std::string label;
+  std::uint64_t sensors = 0;
+  std::uint64_t links = 0;
+  double mean_degree = 0.0;
+  double build_seconds = 0.0;
+  double nodes_per_sec = 0.0;
+  std::uint64_t sim_slots = 0;
+  double sim_seconds = 0.0;
+  double slots_per_sec = 0.0;
+  bool truncated = false;
+};
+
+std::vector<std::uint32_t> sensor_counts() {
+  std::string spec = "1000,10000,100000";
+  if (const char* env = std::getenv("LDCF_SCALE_NODES")) spec = env;
+  std::vector<std::uint32_t> counts;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                    : comma - pos);
+    const long value = std::strtol(token.c_str(), nullptr, 10);
+    if (value > 0) counts.push_back(static_cast<std::uint32_t>(value));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (counts.empty()) counts = {1000, 10000, 100000};
+  return counts;
+}
+
+std::uint64_t max_slots() {
+  if (const char* env = std::getenv("LDCF_SCALE_MAX_SLOTS")) {
+    const long long value = std::strtoll(env, nullptr, 10);
+    if (value > 0) return static_cast<std::uint64_t>(value);
+  }
+  return 5000;
+}
+
+void write_bench_report(const std::string& path,
+                        const ldcf::sim::SimConfig& config, std::uint32_t reps,
+                        const std::vector<ScaleRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::cerr << "bench_scale: cannot open report file " << path << "\n";
+    return;
+  }
+  ldcf::obs::JsonWriter json(out);
+  json.begin_object()
+      .field("schema", "ldcf.bench_report.v1")
+      .field("bench", "scale");
+  json.key("provenance");
+  ldcf::obs::write_provenance(json, ldcf::obs::Provenance::current());
+  json.key("config")
+      .begin_object()
+      .field("num_packets", config.num_packets)
+      .field("duty_percent", 100.0 * config.duty.ratio())
+      .field("max_slots", config.max_slots)
+      .field("seed", config.seed)
+      .field("best_of", reps)
+      .end_object();
+  json.key("results").begin_array();
+  for (const ScaleRow& row : rows) {
+    json.begin_object()
+        .field("label", row.label)
+        .field("sensors", row.sensors)
+        .field("links", row.links)
+        .field("mean_degree", row.mean_degree)
+        .field("build_seconds", row.build_seconds)
+        .field("nodes_per_sec", row.nodes_per_sec)
+        .field("sim_slots", row.sim_slots)
+        .field("sim_seconds", row.sim_seconds)
+        .field("slots_per_sec", row.slots_per_sec)
+        .field("truncated", row.truncated)
+        .end_object();
+  }
+  json.end_array().end_object();
+  out << '\n';
+  std::cout << "Report written to " << path << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ldcf;
+  using analysis::Table;
+  using Clock = std::chrono::steady_clock;
+
+  const std::vector<std::uint32_t> counts = sensor_counts();
+  const std::uint32_t reps = bench::repetitions();
+
+  sim::SimConfig config;
+  config.duty = DutyCycle::from_ratio(bench::kPaperDuty);
+  config.num_packets =
+      bench::packet_count() < 100 ? bench::packet_count() : 2;
+  config.seed = bench::kRunSeed;
+  config.max_slots = max_slots();
+
+  std::cout << "=== Topology + engine scaling (dbao, M = "
+            << config.num_packets << ", duty "
+            << 100.0 * config.duty.ratio() << "%, sim segment <= "
+            << config.max_slots << " slots, best of " << reps << ") ===\n";
+
+  Table table({"sensors", "links", "degree", "build ms", "nodes/sec",
+               "sim slots", "sim ms", "slots/sec"});
+  std::vector<ScaleRow> rows;
+  for (const std::uint32_t sensors : counts) {
+    topology::ClusterConfig gen = topology::scaled_cluster_config(sensors, 1);
+    gen.base.link_rng = topology::LinkRngMode::kPairKeyed;
+    gen.base.require_connectivity = false;  // retries dwarf the build cost.
+
+    double build_best = 0.0;
+    topology::Topology topo;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const auto start = Clock::now();
+      topo = topology::make_clustered(gen);
+      const std::chrono::duration<double> elapsed = Clock::now() - start;
+      if (rep == 0 || elapsed.count() < build_best) {
+        build_best = elapsed.count();
+      }
+    }
+
+    double sim_best = 0.0;
+    sim::SimResult result;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const auto proto = protocols::make_protocol("dbao");
+      const auto start = Clock::now();
+      result = sim::run_simulation(topo, config, *proto);
+      const std::chrono::duration<double> elapsed = Clock::now() - start;
+      if (rep == 0 || elapsed.count() < sim_best) {
+        sim_best = elapsed.count();
+      }
+    }
+
+    ScaleRow row;
+    row.label = "N";  // two-step append dodges a GCC 12 -Wrestrict warning.
+    row.label += std::to_string(sensors);
+    row.sensors = sensors;
+    row.links = topo.num_links();
+    row.mean_degree = topo.mean_degree();
+    row.build_seconds = build_best;
+    row.nodes_per_sec = static_cast<double>(topo.num_nodes()) / build_best;
+    row.sim_slots = result.metrics.end_slot;
+    row.sim_seconds = sim_best;
+    row.slots_per_sec =
+        static_cast<double>(result.metrics.end_slot) / sim_best;
+    row.truncated = result.metrics.truncated;
+    rows.push_back(row);
+
+    table.add_row({Table::num(row.sensors), Table::num(row.links),
+                   Table::num(row.mean_degree, 1),
+                   Table::num(1e3 * row.build_seconds, 1),
+                   Table::num(row.nodes_per_sec, 0),
+                   Table::num(row.sim_slots),
+                   Table::num(1e3 * row.sim_seconds, 1),
+                   Table::num(row.slots_per_sec, 0)});
+  }
+  table.print(std::cout);
+
+  // Near-linearity: if construction were quadratic, a 10x size step would
+  // cost 100x; report the per-node cost drift between the extreme rows.
+  if (rows.size() >= 2) {
+    const ScaleRow& lo = rows.front();
+    const ScaleRow& hi = rows.back();
+    const double per_node_ratio =
+        (hi.build_seconds / static_cast<double>(hi.sensors)) /
+        (lo.build_seconds / static_cast<double>(lo.sensors));
+    std::cout << "\nShape check: per-node build cost at N=" << hi.sensors
+              << " is " << Table::num(per_node_ratio, 2) << "x the N="
+              << lo.sensors
+              << " cost (1.0 = perfectly linear; quadratic would be "
+              << hi.sensors / lo.sensors << "x).\n";
+  }
+
+  const std::string report = bench::report_path("scale");
+  if (!report.empty()) write_bench_report(report, config, reps, rows);
+  return 0;
+}

@@ -8,7 +8,11 @@
 //     --topo FILE        load topology from a trace file
 //     --trace PATH       write a JSONL event trace of the run(s) to PATH
 //                        (multi-rep runs get a per-trial suffix)
-//     --sensors N        generate an N-sensor clustered trace (default 298)
+//     --sensors N        generate an N-sensor trace (default 298)
+//     --generator KIND   clustered | uniform | grid | disk  (default
+//                        clustered, GreenOrbs density scaled to N)
+//     --keyed-links      order-independent per-pair link RNG (the large-N
+//                        path; default is the sequential legacy stream)
 //     --topo-seed S      generator seed (default 1)
 //     --duty PCT         duty cycle percent (default 5)
 //     --source NODE      flooding source node (default 0)
@@ -17,6 +21,7 @@
 //     --spacing K        slots between packet generations (default 1)
 //     --seed S           run seed (default 7)
 //     --coverage F       coverage fraction (default 0.99)
+//     --max-slots K      hard stop after K slots (marks the run truncated)
 //     --kill NODE@SLOT   inject a node death (repeatable)
 //     --burst SCALE,START,DUR,PERIOD  periodic link-quality bursts
 //     --reps R           average over R seeds (seed, seed+1, ...; default 1)
@@ -115,6 +120,8 @@ int run_cli(int argc, char** argv) {
   bool show_progress = false;
   bool analyze = false;
   std::uint32_t sensors = 298;
+  std::string generator = "clustered";
+  bool keyed_links = false;
   std::uint64_t topo_seed = 1;
   double duty_pct = 5.0;
   bool csv = false;
@@ -144,6 +151,10 @@ int run_cli(int argc, char** argv) {
       analyze = true;
     } else if (arg == "--sensors") {
       sensors = static_cast<std::uint32_t>(parse_u64(next()));
+    } else if (arg == "--generator") {
+      generator = next();
+    } else if (arg == "--keyed-links") {
+      keyed_links = true;
     } else if (arg == "--topo-seed") {
       topo_seed = parse_u64(next());
     } else if (arg == "--duty") {
@@ -160,6 +171,8 @@ int run_cli(int argc, char** argv) {
       config.seed = parse_u64(next());
     } else if (arg == "--coverage") {
       config.coverage_fraction = parse_double(next());
+    } else if (arg == "--max-slots") {
+      config.max_slots = parse_u64(next());
     } else if (arg == "--kill") {
       const std::string spec = next();
       const auto at = spec.find('@');
@@ -204,15 +217,32 @@ int run_cli(int argc, char** argv) {
   topology::Topology topo =
       topo_path.empty()
           ? [&] {
-              topology::ClusterConfig gen;
-              gen.base.num_sensors = sensors;
-              gen.base.area_side_m =
+              const auto link_rng = keyed_links
+                                        ? topology::LinkRngMode::kPairKeyed
+                                        : topology::LinkRngMode::kSequential;
+              if (generator == "clustered") {
+                topology::ClusterConfig gen =
+                    topology::scaled_cluster_config(sensors, topo_seed);
+                gen.base.link_rng = link_rng;
+                // Connectivity retries are prohibitive at large N; the
+                // engine clips its coverage target to the reachable set.
+                if (sensors > 2000) gen.base.require_connectivity = false;
+                return topology::make_clustered(gen);
+              }
+              topology::GeneratorConfig gen;
+              gen.num_sensors = sensors;
+              gen.area_side_m =
                   560.0 * std::sqrt(static_cast<double>(sensors) / 298.0);
-              gen.base.radio.path_loss_exponent = 3.3;
-              gen.base.seed = topo_seed;
-              gen.num_clusters = std::max(4u, sensors / 17u);
-              gen.cluster_sigma_m = 34.0;
-              return topology::make_clustered(gen);
+              gen.radio.path_loss_exponent = 3.3;
+              gen.seed = topo_seed;
+              gen.link_rng = link_rng;
+              if (sensors > 2000) gen.require_connectivity = false;
+              if (generator == "uniform") return topology::make_uniform(gen);
+              if (generator == "grid") return topology::make_grid(gen);
+              if (generator == "disk") {
+                return topology::make_uniform_disk(gen);
+              }
+              usage_error("unknown --generator " + generator);
             }()
           : topology::read_trace_file(topo_path);
 

@@ -5,15 +5,17 @@
                              [--reference BENCH_engine.json]
                              [--min-ratio 0.25]
 
-Reads two ldcf.bench_report.v1 files and, per protocol common to both:
+Reads two ldcf.bench_report.v1 files and, per result row common to both
+(engine reports key rows by protocol, scale reports by size label):
 
-  * checks `slots` and `attempts` match exactly when the bench configs are
+  * checks deterministic fields match exactly when the bench configs are
     identical (same packets / nodes / seed / topology fingerprint) — the
-    engine is deterministic, so any drift there is a correctness bug, not
-    noise;
-  * checks `slots_per_sec` is at least `--min-ratio` times the reference
-    throughput — a generous floor that catches order-of-magnitude
-    regressions without tripping on CI machine variance.
+    engine and the keyed topology construction are deterministic, so any
+    drift in `slots`/`attempts` (engine) or `links`/`sim_slots` (scale) is
+    a correctness bug, not noise;
+  * checks every throughput field (`slots_per_sec`, `nodes_per_sec`) is at
+    least `--min-ratio` times the reference — a generous floor that catches
+    order-of-magnitude regressions without tripping on CI machine variance.
 
 Exit status: 0 = all checks pass, 1 = regression detected, 2 = bad input.
 Only the standard library is used.
@@ -22,6 +24,12 @@ Only the standard library is used.
 import argparse
 import json
 import sys
+
+# Fields that must be bit-identical on the same workload, and fields that
+# only need to clear the throughput floor. Rows carry a subset of these
+# depending on the bench (engine vs scale).
+EXACT_FIELDS = ("slots", "attempts", "links", "sim_slots")
+RATE_FIELDS = ("slots_per_sec", "nodes_per_sec")
 
 
 def load_report(path):
@@ -35,16 +43,24 @@ def load_report(path):
     return report
 
 
-def by_protocol(report):
-    return {row["protocol"]: row for row in report.get("results", [])}
+def row_key(row):
+    return row.get("protocol") or row.get("label") or "?"
+
+
+def by_key(report):
+    return {row_key(row): row for row in report.get("results", [])}
 
 
 def same_workload(fresh, reference):
     """Determinism checks only make sense on the identical workload."""
+    if fresh.get("bench") != reference.get("bench"):
+        return False
     fresh_config = dict(fresh.get("config", {}))
     ref_config = dict(reference.get("config", {}))
     fresh_config.pop("best_of", None)  # repetitions affect timing only.
     ref_config.pop("best_of", None)
+    # Scale reports build their own topologies (no top-level fingerprint);
+    # None == None keeps this check vacuous for them.
     same_topo = fresh.get("topology", {}).get("fingerprint") == reference.get(
         "topology", {}
     ).get("fingerprint")
@@ -61,25 +77,24 @@ def main():
         "--min-ratio",
         type=float,
         default=0.25,
-        help="minimum fresh/reference slots_per_sec per protocol "
-        "(default 0.25)",
+        help="minimum fresh/reference throughput per row (default 0.25)",
     )
     args = parser.parse_args()
 
     fresh = load_report(args.fresh)
     reference = load_report(args.reference)
-    fresh_rows = by_protocol(fresh)
-    ref_rows = by_protocol(reference)
+    fresh_rows = by_key(fresh)
+    ref_rows = by_key(reference)
     check_exact = same_workload(fresh, reference)
     if not check_exact:
         print(
-            "bench_compare: configs differ; skipping exact slots/attempts "
+            "bench_compare: configs differ; skipping exact determinism "
             "checks (throughput floor still applies)"
         )
 
     shared = [name for name in ref_rows if name in fresh_rows]
     if not shared:
-        sys.exit("bench_compare: no common protocols between the reports")
+        sys.exit("bench_compare: no common result rows between the reports")
     missing = [name for name in ref_rows if name not in fresh_rows]
     if missing:
         print(f"bench_compare: note: fresh report lacks {', '.join(missing)}")
@@ -88,31 +103,34 @@ def main():
     for name in shared:
         fresh_row = fresh_rows[name]
         ref_row = ref_rows[name]
-        ratio = fresh_row["slots_per_sec"] / ref_row["slots_per_sec"]
-        status = "ok"
-        if check_exact and (
-            fresh_row["slots"] != ref_row["slots"]
-            or fresh_row["attempts"] != ref_row["attempts"]
-        ):
-            status = (
-                "DETERMINISM DRIFT: "
-                f"slots {fresh_row['slots']} vs {ref_row['slots']}, "
-                f"attempts {fresh_row['attempts']} vs {ref_row['attempts']}"
-            )
+        problems = []
+        if check_exact:
+            for field in EXACT_FIELDS:
+                if field in fresh_row and field in ref_row:
+                    if fresh_row[field] != ref_row[field]:
+                        problems.append(
+                            "DETERMINISM DRIFT: "
+                            f"{field} {fresh_row[field]} vs {ref_row[field]}"
+                        )
+        rates = []
+        for field in RATE_FIELDS:
+            if field in fresh_row and field in ref_row:
+                ratio = fresh_row[field] / ref_row[field]
+                rates.append(f"{field} ratio {ratio:.2f}")
+                if not problems and ratio < args.min_ratio:
+                    problems.append(
+                        "THROUGHPUT REGRESSION: "
+                        f"{field} ratio {ratio:.3f} < {args.min_ratio}"
+                    )
+        status = "; ".join(problems) if problems else "ok"
+        if problems:
             failures += 1
-        elif ratio < args.min_ratio:
-            status = f"THROUGHPUT REGRESSION: ratio {ratio:.3f} < {args.min_ratio}"
-            failures += 1
-        print(
-            f"  {name:8s} {fresh_row['slots_per_sec']:>12.0f} slots/s "
-            f"(reference {ref_row['slots_per_sec']:>12.0f}, "
-            f"ratio {ratio:.2f})  {status}"
-        )
+        print(f"  {name:8s} {', '.join(rates)}  {status}")
 
     if failures:
-        print(f"bench_compare: {failures} protocol(s) regressed")
+        print(f"bench_compare: {failures} row(s) regressed")
         return 1
-    print(f"bench_compare: {len(shared)} protocol(s) within bounds")
+    print(f"bench_compare: {len(shared)} row(s) within bounds")
     return 0
 
 

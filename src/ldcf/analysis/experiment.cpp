@@ -12,6 +12,7 @@
 #include "ldcf/obs/trace_analysis.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/sim/trace_observer.hpp"
+#include "ldcf/topology/generators.hpp"
 #include "ldcf/topology/tree.hpp"
 
 namespace ldcf::analysis {
@@ -271,6 +272,46 @@ double effective_k(const topology::Topology& topo, KEstimate mode) {
     }
   }
   throw InvalidArgument("unknown k estimate mode");
+}
+
+std::vector<ScalePoint> run_scale_sweep(
+    const std::vector<std::uint32_t>& sensor_counts,
+    const std::string& protocol, double duty_ratio,
+    const ExperimentConfig& config, const TopologyFactory& factory) {
+  LDCF_REQUIRE(!sensor_counts.empty(), "need at least one network size");
+  const TopologyFactory make =
+      factory ? factory
+              : [](std::uint32_t n, std::uint64_t seed) {
+                  topology::ClusterConfig cc =
+                      topology::scaled_cluster_config(n, seed);
+                  cc.base.link_rng = topology::LinkRngMode::kPairKeyed;
+                  cc.base.require_connectivity = false;
+                  return topology::make_clustered(cc);
+                };
+  std::vector<ScalePoint> points;
+  points.reserve(sensor_counts.size());
+  for (const std::uint32_t n : sensor_counts) {
+    const auto build_start = std::chrono::steady_clock::now();
+    const topology::Topology topo = make(n, config.base.seed);
+    ScalePoint sp;
+    sp.topology_build_seconds = seconds_since(build_start);
+    sp.num_sensors = n;
+    sp.num_links = topo.num_links();
+    sp.mean_degree = topo.mean_degree();
+    sp.reachable_fraction =
+        topo.num_sensors() == 0
+            ? 1.0
+            : static_cast<double>(topo.reachable_count(0) - 1) /
+                  static_cast<double>(topo.num_sensors());
+    sp.eccentricity = topo.eccentricity_from_source();
+    ExperimentConfig per_size = config;
+    per_size.report_path.clear();
+    per_size.trace_path.clear();
+    sp.point = run_point(topo, protocol, DutyCycle::from_ratio(duty_ratio),
+                         per_size);
+    points.push_back(std::move(sp));
+  }
+  return points;
 }
 
 PacketSeries run_packet_series(const topology::Topology& topo,

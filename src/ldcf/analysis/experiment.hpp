@@ -2,6 +2,7 @@
 // figures, with optional multi-seed averaging.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -137,6 +138,35 @@ struct TrialStats {
 [[nodiscard]] std::vector<ProtocolPoint> run_duty_sweep(
     const topology::Topology& topo, const std::vector<std::string>& protocols,
     const std::vector<double>& duty_ratios, const ExperimentConfig& config);
+
+/// One network size's numbers in an N-scaling sweep (paper Fig. 6: FDL
+/// grows like log(1 + N) at fixed density).
+struct ScalePoint {
+  std::uint32_t num_sensors = 0;
+  std::size_t num_links = 0;           ///< directed links in the topology.
+  double mean_degree = 0.0;
+  double reachable_fraction = 0.0;     ///< sensors the source can reach.
+  std::uint64_t eccentricity = 0;      ///< max hop distance from the source.
+  double topology_build_seconds = 0.0; ///< wall time to generate the graph.
+  ProtocolPoint point;                 ///< simulated numbers at this size.
+};
+
+/// Builds the topology for one sweep size. The default (empty) factory uses
+/// scaled_cluster_config (constant GreenOrbs density) with order-independent
+/// pair-keyed link RNG and no connectivity retries — retrying a 100k-node
+/// build is far more expensive than letting the engine clip its coverage
+/// target to the reachable set.
+using TopologyFactory = std::function<topology::Topology(
+    std::uint32_t num_sensors, std::uint64_t seed)>;
+
+/// Run `protocol` at `duty_ratio` across network sizes. Sizes run in
+/// sequence (each one's repetitions fan out over config.threads);
+/// config.report_path and trace_path are ignored per size — one sweep
+/// produces one result set the caller renders.
+[[nodiscard]] std::vector<ScalePoint> run_scale_sweep(
+    const std::vector<std::uint32_t>& sensor_counts,
+    const std::string& protocol, double duty_ratio,
+    const ExperimentConfig& config, const TopologyFactory& factory = {});
 
 /// Per-packet series for Fig. 9: one run, delays indexed by packet.
 struct PacketSeries {

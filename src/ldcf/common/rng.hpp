@@ -27,6 +27,28 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// SplitMix64's avalanche finalizer as a pure function: a well-mixed 64-bit
+/// hash of `z`. Used to derive counter-based substream seeds from a key.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Counter-based substream seed for an *unordered* pair (a, b): the key is
+/// (min, max), so the derived stream is identical no matter which order the
+/// pair is visited in. Topology generators use this to make per-link
+/// shadowing draws independent of pair enumeration order (DESIGN.md §9).
+[[nodiscard]] constexpr std::uint64_t pair_stream_seed(
+    std::uint64_t base, std::uint32_t a, std::uint32_t b) noexcept {
+  const std::uint64_t lo = a < b ? a : b;
+  const std::uint64_t hi = a < b ? b : a;
+  const std::uint64_t key = (lo << 32) | hi;
+  // Two rounds keyed by the golden-ratio increment so (base, key) and
+  // (base + 1, key - weyl) cannot alias.
+  return mix64(mix64(base + 0x9e3779b97f4a7c15ULL) ^ key);
+}
+
 /// Xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
 class Rng {
  public:

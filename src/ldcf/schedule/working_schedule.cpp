@@ -14,13 +14,37 @@ ScheduleSet::ScheduleSet(std::size_t num_nodes, DutyCycle duty, Rng& rng,
   LDCF_REQUIRE(slots_per_period >= 1 && slots_per_period <= duty.period,
                "active slots per period must be in [1, T]");
   slots_.resize(num_nodes);
+  // Two samplers for k distinct slots out of T. Sparse k keeps the
+  // historical rejection loop (its draw sequence is pinned by golden
+  // tests); dense k (2k > T) switches to a partial Fisher-Yates shuffle,
+  // because rejection degenerates toward the coupon-collector bound as
+  // k -> T (unboundedly many draws for the last free slots).
+  const bool dense = 2ull * slots_per_period > duty.period;
+  std::vector<std::uint32_t> pool;
+  if (dense) {
+    pool.resize(duty.period);
+    for (std::uint32_t i = 0; i < duty.period; ++i) pool[i] = i;
+  }
   for (auto& node_slots : slots_) {
-    // Sample k distinct slots by rejection (k << T in practice).
-    while (node_slots.size() < slots_per_period) {
-      const auto slot = static_cast<std::uint32_t>(rng.below(duty.period));
-      if (std::find(node_slots.begin(), node_slots.end(), slot) ==
-          node_slots.end()) {
-        node_slots.push_back(slot);
+    if (dense) {
+      // Exactly k draws per node. The pool stays permuted between nodes;
+      // Fisher-Yates selects uniformly regardless of starting order.
+      for (std::uint32_t i = 0; i < slots_per_period; ++i) {
+        const auto j =
+            i + static_cast<std::uint32_t>(rng.below(duty.period - i));
+        std::swap(pool[i], pool[j]);
+      }
+      node_slots.assign(pool.begin(),
+                        pool.begin() + static_cast<std::ptrdiff_t>(
+                                           slots_per_period));
+    } else {
+      // Sample k distinct slots by rejection (k << T in practice).
+      while (node_slots.size() < slots_per_period) {
+        const auto slot = static_cast<std::uint32_t>(rng.below(duty.period));
+        if (std::find(node_slots.begin(), node_slots.end(), slot) ==
+            node_slots.end()) {
+          node_slots.push_back(slot);
+        }
       }
     }
     std::sort(node_slots.begin(), node_slots.end());

@@ -25,7 +25,9 @@ namespace ldcf::schedule {
 class ScheduleSet {
  public:
   /// Random schedules with `slots_per_period` distinct active slots per
-  /// node (1 = the paper's normalized model).
+  /// node (1 = the paper's normalized model). Distinctness holds for every
+  /// k up to the period: sparse k uses rejection sampling, dense k
+  /// (2k > T) a partial Fisher-Yates shuffle with exactly k draws.
   ScheduleSet(std::size_t num_nodes, DutyCycle duty, Rng& rng,
               std::uint32_t slots_per_period = 1);
 

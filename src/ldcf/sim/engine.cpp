@@ -21,6 +21,13 @@ const SimConfig& validate_config(const topology::Topology& topo,
     LDCF_REQUIRE(f.node != config.source && f.node < topo.num_nodes(),
                  "cannot kill the source or an out-of-range node");
   }
+  if (config.perturbations.burst) {
+    const LinkBurst& b = *config.perturbations.burst;
+    LDCF_REQUIRE(b.period > 0, "link burst period must be positive");
+    LDCF_REQUIRE(b.duration <= b.period,
+                 "link burst duration must not exceed the period (use "
+                 "duration == period for a permanent burst)");
+  }
   return config;
 }
 

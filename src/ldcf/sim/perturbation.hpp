@@ -30,10 +30,20 @@ struct LinkBurst {
   SlotIndex duration = 100;     ///< burst length in slots.
   SlotIndex period = 1000;      ///< distance between burst starts.
 
-  /// Whether slot `t` falls inside a burst window.
+  /// Whether slot `t` falls inside a burst window. Requires a valid()
+  /// burst: `period == 0` would divide by zero here, which is why the
+  /// engine rejects such configs up front instead of hitting UB per slot.
   [[nodiscard]] bool active_at(SlotIndex t) const {
     if (t < first_start) return false;
     return (t - first_start) % period < duration;
+  }
+
+  /// Structural sanity: `period` must be positive (active_at divides by
+  /// it) and `duration` must fit inside `period` — a longer duration used
+  /// to silently behave as "always bursting", masking config typos.
+  /// `duration == period` is the legitimate spelling of a permanent burst.
+  [[nodiscard]] bool valid() const {
+    return period > 0 && duration <= period;
   }
 };
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
 #include <vector>
 
 #include "ldcf/common/error.hpp"
+#include "ldcf/topology/spatial_hash.hpp"
 
 namespace ldcf::topology {
 
@@ -13,20 +15,41 @@ namespace {
 /// Wire up every pair within plausible radio range: sample a persistent
 /// shadowing offset per unordered pair, derive directional PRRs (slightly
 /// asymmetric, as measured traces are), keep links above the usable floor.
-void build_links(Topology& topo, const RadioModel& radio, Rng& rng) {
+///
+/// Candidate pairs come from a spatial hash grid (cell size = max range, so
+/// the 3x3 cell neighborhood is a superset of the in-range partners) rather
+/// than an all-pairs scan. In kSequential mode the grid's canonical
+/// ascending-(a, b) enumeration consumes `rng` in exactly the order the
+/// historical nested loop did, so every pinned fingerprint is preserved; in
+/// kPairKeyed mode each surviving pair gets its own counter-based stream
+/// seeded from (pair_base, min, max), making the realization independent of
+/// visit order entirely.
+void build_links(Topology& topo, const RadioModel& radio, Rng& rng,
+                 LinkRngMode mode, std::uint64_t pair_base) {
   const double max_range = radio.range_at_prr(0.01) * 1.5;
   const auto n = static_cast<NodeId>(topo.num_nodes());
+  const SpatialHashGrid grid(topo.positions(), max_range);
+  const auto realize = [&](NodeId a, NodeId b, double dist, Rng& r) {
+    const double rssi = radio.sample_rssi_dbm(dist, r);
+    // Mild per-direction asymmetry on top of the shared shadowing.
+    const double asym = 0.5 * r.normal();
+    const double prr_ab = radio.prr_of_rssi(rssi + asym);
+    const double prr_ba = radio.prr_of_rssi(rssi - asym);
+    if (prr_ab >= radio.min_usable_prr) topo.add_link(a, b, prr_ab);
+    if (prr_ba >= radio.min_usable_prr) topo.add_link(b, a, prr_ba);
+  };
+  std::vector<NodeId> candidates;
   for (NodeId a = 0; a < n; ++a) {
-    for (NodeId b = a + 1; b < n; ++b) {
+    grid.candidates_above(a, candidates);
+    for (const NodeId b : candidates) {
       const double dist = distance(topo.position(a), topo.position(b));
       if (dist > max_range) continue;
-      const double rssi = radio.sample_rssi_dbm(dist, rng);
-      // Mild per-direction asymmetry on top of the shared shadowing.
-      const double asym = 0.5 * rng.normal();
-      const double prr_ab = radio.prr_of_rssi(rssi + asym);
-      const double prr_ba = radio.prr_of_rssi(rssi - asym);
-      if (prr_ab >= radio.min_usable_prr) topo.add_link(a, b, prr_ab);
-      if (prr_ba >= radio.min_usable_prr) topo.add_link(b, a, prr_ba);
+      if (mode == LinkRngMode::kPairKeyed) {
+        Rng pair_rng(pair_stream_seed(pair_base, a, b));
+        realize(a, b, dist, pair_rng);
+      } else {
+        realize(a, b, dist, rng);
+      }
     }
   }
 }
@@ -43,10 +66,15 @@ Topology generate_with_retries(const GeneratorConfig& config,
                                PlaceFn&& place) {
   const int max_attempts = config.require_connectivity ? 32 : 1;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    Rng rng(config.seed +
-            static_cast<std::uint64_t>(attempt) * std::uint64_t{0x9e37});
+    const std::uint64_t attempt_seed =
+        config.seed +
+        static_cast<std::uint64_t>(attempt) * std::uint64_t{0x9e37};
+    Rng rng(attempt_seed);
     Topology topo(place(rng));
-    build_links(topo, config.radio, rng);
+    build_links(topo, config.radio, rng, config.link_rng, attempt_seed);
+    // Seal eagerly so the returned topology is safe to share across the
+    // parallel trial executor's threads without a first-query race window.
+    topo.seal();
     if (!config.require_connectivity ||
         reachable_fraction(topo) >= config.min_reachable_fraction) {
       return topo;
@@ -66,6 +94,24 @@ Topology make_uniform(const GeneratorConfig& config) {
     for (auto& p : pts) {
       p = Point2D{rng.uniform() * config.area_side_m,
                   rng.uniform() * config.area_side_m};
+    }
+    return pts;
+  });
+}
+
+Topology make_uniform_disk(const GeneratorConfig& config) {
+  LDCF_REQUIRE(config.num_sensors >= 1, "need at least one sensor");
+  return generate_with_retries(config, [&config](Rng& rng) {
+    const double radius = 0.5 * config.area_side_m;
+    const Point2D center{radius, radius};
+    std::vector<Point2D> pts(config.num_sensors + 1);
+    pts[0] = center;  // the source floods from the middle of the disk.
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      // sqrt of a uniform radius fraction keeps density uniform over area.
+      const double r = radius * std::sqrt(rng.uniform());
+      const double theta = 2.0 * std::numbers::pi * rng.uniform();
+      pts[i] = Point2D{center.x + r * std::cos(theta),
+                       center.y + r * std::sin(theta)};
     }
     return pts;
   });
@@ -112,11 +158,29 @@ Topology make_clustered(const ClusterConfig& config) {
   });
 }
 
+ClusterConfig scaled_cluster_config(std::uint32_t num_sensors,
+                                    std::uint64_t seed) {
+  LDCF_REQUIRE(num_sensors >= 1, "need at least one sensor");
+  ClusterConfig config;
+  config.base.num_sensors = num_sensors;
+  // Constant density: the GreenOrbs stand-in packs 298 sensors in a 560 m
+  // square, so the side grows with sqrt(N) and clusters with N.
+  config.base.area_side_m =
+      560.0 * std::sqrt(static_cast<double>(num_sensors) / 298.0);
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = seed;
+  config.num_clusters = std::max(4u, num_sensors / 17u);
+  config.cluster_sigma_m = 34.0;
+  return config;
+}
+
 Topology make_greenorbs_like(std::uint64_t seed) {
   ClusterConfig config;
   config.base.num_sensors = 298;
   // Sized so the network is genuinely multi-hop (eccentricity >= 6) with a
   // mean out-degree around 12-18, matching the sparse forest deployment.
+  // Kept verbatim (not via scaled_cluster_config) because the pinned golden
+  // fingerprints depend on these exact constants.
   config.base.area_side_m = 560.0;
   config.base.radio.path_loss_exponent = 3.3;
   config.base.seed = seed;
@@ -136,6 +200,7 @@ Topology make_complete(std::uint32_t num_sensors, double prr) {
       topo.add_symmetric_link(a, b, prr);
     }
   }
+  topo.seal();
   return topo;
 }
 

@@ -6,6 +6,11 @@
 // stand-in: clustered ("forest patch") placement, log-distance + shadowing
 // PRR links, 298 sensors plus a source, guaranteed source-connectivity. The
 // substitution is documented in DESIGN.md §2.
+//
+// Link construction uses a spatial hash grid (cell >= max radio range, so
+// candidate pairs come from the 3x3 cell neighborhood only) instead of the
+// historical all-pairs loop — O(N + links) rather than O(N^2), which is
+// what makes 100k-node topologies buildable (DESIGN.md §9, `bench_scale`).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,19 @@
 #include "ldcf/topology/topology.hpp"
 
 namespace ldcf::topology {
+
+/// How per-link shadowing randomness is drawn during construction.
+enum class LinkRngMode {
+  /// One sequential stream consumed in canonical ascending (a, b) pair
+  /// order — bit-identical to the historical all-pairs generator, and the
+  /// default because the golden-metrics fingerprints are pinned to it.
+  kSequential,
+  /// Counter-based per-pair streams keyed by (seed, min(a,b), max(a,b)):
+  /// each link's realization is independent of pair-visit order, so link
+  /// construction can be re-ordered, sharded or parallelized without
+  /// changing the topology. Preferred for new large-N experiments.
+  kPairKeyed,
+};
 
 /// Common knobs for the random generators.
 struct GeneratorConfig {
@@ -27,10 +45,18 @@ struct GeneratorConfig {
   /// perturbed seed (up to 32 attempts).
   bool require_connectivity = true;
   double min_reachable_fraction = 0.99;
+  /// Link-shadowing draw scheme (see LinkRngMode).
+  LinkRngMode link_rng = LinkRngMode::kSequential;
 };
 
 /// Uniformly random placement in the square.
 [[nodiscard]] Topology make_uniform(const GeneratorConfig& config);
+
+/// Uniformly random placement in the disk inscribed in the square (diameter
+/// `area_side_m`). Constant-density disks are the natural shape for N-scaling
+/// sweeps: the source sits in the bulk instead of a corner, so eccentricity
+/// grows like sqrt(N) from the center out.
+[[nodiscard]] Topology make_uniform_disk(const GeneratorConfig& config);
 
 /// Regular grid placement (ceil(sqrt(N+1)) per side), useful for tests that
 /// need predictable geometry.
@@ -44,6 +70,14 @@ struct ClusterConfig {
   double cluster_sigma_m = 35.0;
 };
 [[nodiscard]] Topology make_clustered(const ClusterConfig& config);
+
+/// A GreenOrbs-density clustered config scaled to `num_sensors`: the area
+/// grows like sqrt(N) (constant sensor density) and the cluster count like
+/// N, so mean degree and PRR mix stay in the deployment's regime at any
+/// scale. This is the shape `flood_sim --sensors` and the N-scaling benches
+/// use; pair it with LinkRngMode::kPairKeyed for order-independent links.
+[[nodiscard]] ClusterConfig scaled_cluster_config(std::uint32_t num_sensors,
+                                                  std::uint64_t seed);
 
 /// The GreenOrbs stand-in: 298 sensors, clustered forest placement, CC2420
 /// radio defaults, deterministic per seed.

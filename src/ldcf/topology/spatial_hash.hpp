@@ -1,0 +1,62 @@
+// Uniform spatial hash grid over node positions.
+//
+// Topology construction needs "all pairs within radio range" without the
+// all-pairs O(N^2) scan: bucket nodes into square cells at least as wide as
+// the maximum radio range, then every in-range pair lies within a 3x3 cell
+// neighborhood. Candidate enumeration is canonical — for each node `a` in
+// ascending id order, the candidate partners `b > a` come out ascending —
+// so a caller drawing RNG values per surviving pair consumes them in
+// exactly the order the historical nested loop did (DESIGN.md §9).
+//
+// Buckets are stored CSR-style (offsets + one flat id array), built with a
+// counting pass, so construction is O(N + cells) with two allocations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldcf/common/types.hpp"
+#include "ldcf/topology/geometry.hpp"
+
+namespace ldcf::topology {
+
+class SpatialHashGrid {
+ public:
+  /// Bucket `positions` into cells of side >= `cell_size` meters (the cell
+  /// actually used may be larger: the grid is capped at O(N) cells so a
+  /// sparse deployment over a huge area cannot blow up memory). Throws
+  /// InvalidArgument on an empty point set or a non-positive cell size.
+  SpatialHashGrid(std::span<const Point2D> positions, double cell_size);
+
+  [[nodiscard]] std::size_t num_cells() const {
+    return cols_ * rows_;
+  }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+
+  /// Cell index of a point (clamped into the grid).
+  [[nodiscard]] std::size_t cell_of(const Point2D& p) const;
+
+  /// Node ids bucketed in `cell`, ascending.
+  [[nodiscard]] std::span<const NodeId> cell_nodes(std::size_t cell) const;
+
+  /// Append to `out` every node id `b > a` from the 3x3 cell neighborhood
+  /// of node `a`, in ascending id order. `out` is cleared first. The result
+  /// is a superset of the in-range partners of `a` whenever the true pair
+  /// distance is <= the construction cell size.
+  void candidates_above(NodeId a, std::vector<NodeId>& out) const;
+
+ private:
+  std::span<const Point2D> positions_;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  double inv_cell_w_ = 0.0;  ///< 1 / effective cell width.
+  double inv_cell_h_ = 0.0;
+  std::size_t cols_ = 1;
+  std::size_t rows_ = 1;
+  std::vector<std::uint32_t> cell_offsets_;  ///< CSR offsets, cells + 1.
+  std::vector<NodeId> cell_ids_;             ///< node ids, grouped by cell.
+};
+
+}  // namespace ldcf::topology

@@ -1,22 +1,115 @@
 #include "ldcf/topology/topology.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <queue>
+#include <utility>
 
 #include "ldcf/common/error.hpp"
 
 namespace ldcf::topology {
 
+namespace {
+
+/// One process-wide mutex guards every lazy seal. Sealing happens once per
+/// topology, so contention is irrelevant; sharing the lock keeps Topology
+/// movable (a per-instance std::mutex would pin it).
+std::mutex& seal_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
 Topology::Topology(std::vector<Point2D> positions)
-    : positions_(std::move(positions)), adjacency_(positions_.size()) {
+    : positions_(std::move(positions)), staging_(positions_.size()) {
   LDCF_REQUIRE(!positions_.empty(), "topology needs at least one node");
+}
+
+Topology::Topology(const Topology& other)
+    : positions_(other.positions_), num_links_(other.num_links_) {
+  // Copy under the seal lock: a concurrent lazy seal on `other` moves its
+  // rows between staging_ and the CSR arrays.
+  std::lock_guard<std::mutex> lock(seal_mutex());
+  staging_ = other.staging_;
+  csr_offsets_ = other.csr_offsets_;
+  csr_links_ = other.csr_links_;
+  sealed_.store(other.sealed_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
+
+Topology& Topology::operator=(const Topology& other) {
+  if (this == &other) return *this;
+  Topology copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Topology::Topology(Topology&& other) noexcept
+    : positions_(std::move(other.positions_)),
+      num_links_(other.num_links_),
+      staging_(std::move(other.staging_)),
+      csr_offsets_(std::move(other.csr_offsets_)),
+      csr_links_(std::move(other.csr_links_)) {
+  sealed_.store(other.sealed_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  other.num_links_ = 0;
+  other.sealed_.store(false, std::memory_order_relaxed);
+}
+
+Topology& Topology::operator=(Topology&& other) noexcept {
+  if (this == &other) return *this;
+  positions_ = std::move(other.positions_);
+  num_links_ = other.num_links_;
+  staging_ = std::move(other.staging_);
+  csr_offsets_ = std::move(other.csr_offsets_);
+  csr_links_ = std::move(other.csr_links_);
+  sealed_.store(other.sealed_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  other.num_links_ = 0;
+  other.sealed_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
+void Topology::ensure_sealed() const {
+  if (sealed_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(seal_mutex());
+  if (sealed_.load(std::memory_order_relaxed)) return;
+  csr_offsets_.assign(positions_.size() + 1, 0);
+  for (std::size_t n = 0; n < staging_.size(); ++n) {
+    csr_offsets_[n + 1] = csr_offsets_[n] + staging_[n].size();
+  }
+  csr_links_.clear();
+  csr_links_.reserve(num_links_);
+  for (const auto& row : staging_) {
+    csr_links_.insert(csr_links_.end(), row.begin(), row.end());
+  }
+  // Release the build-phase rows; a later add_link thaws them back.
+  staging_ = std::vector<std::vector<Link>>();
+  sealed_.store(true, std::memory_order_release);
+}
+
+void Topology::thaw() {
+  if (!sealed_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(seal_mutex());
+  if (!sealed_.load(std::memory_order_relaxed)) return;
+  staging_.assign(positions_.size(), {});
+  for (std::size_t n = 0; n < positions_.size(); ++n) {
+    staging_[n].assign(
+        csr_links_.begin() + static_cast<std::ptrdiff_t>(csr_offsets_[n]),
+        csr_links_.begin() + static_cast<std::ptrdiff_t>(csr_offsets_[n + 1]));
+  }
+  csr_links_ = std::vector<Link>();
+  csr_offsets_ = std::vector<std::size_t>();
+  sealed_.store(false, std::memory_order_release);
 }
 
 void Topology::add_link(NodeId from, NodeId to, double prr_value) {
   LDCF_REQUIRE(from < num_nodes() && to < num_nodes(), "node id out of range");
   LDCF_REQUIRE(from != to, "self-loops are not allowed");
   LDCF_REQUIRE(prr_value > 0.0 && prr_value <= 1.0, "PRR must be in (0, 1]");
-  auto& adj = adjacency_[from];
+  thaw();
+  auto& adj = staging_[from];
   const auto it = std::lower_bound(
       adj.begin(), adj.end(), to,
       [](const Link& l, NodeId id) { return l.to < id; });
@@ -37,12 +130,14 @@ const Point2D& Topology::position(NodeId n) const {
 
 std::span<const Link> Topology::neighbors(NodeId n) const {
   LDCF_REQUIRE(n < num_nodes(), "node id out of range");
-  return adjacency_[n];
+  ensure_sealed();
+  return {csr_links_.data() + csr_offsets_[n],
+          csr_links_.data() + csr_offsets_[n + 1]};
 }
 
 std::optional<double> Topology::prr(NodeId from, NodeId to) const {
   LDCF_REQUIRE(from < num_nodes() && to < num_nodes(), "node id out of range");
-  const auto& adj = adjacency_[from];
+  const std::span<const Link> adj = neighbors(from);
   const auto it = std::lower_bound(
       adj.begin(), adj.end(), to,
       [](const Link& l, NodeId id) { return l.to < id; });
@@ -58,15 +153,15 @@ double Topology::mean_degree() const {
 
 double Topology::mean_prr() const {
   if (num_links_ == 0) return 0.0;
+  ensure_sealed();
   double sum = 0.0;
-  for (const auto& adj : adjacency_) {
-    for (const Link& l : adj) sum += l.prr;
-  }
+  for (const Link& l : csr_links_) sum += l.prr;
   return sum / static_cast<double>(num_links_);
 }
 
 std::vector<std::uint64_t> Topology::hop_distances(NodeId from) const {
   LDCF_REQUIRE(from < num_nodes(), "node id out of range");
+  ensure_sealed();
   std::vector<std::uint64_t> dist(num_nodes(), kNeverSlot);
   dist[from] = 0;
   std::queue<NodeId> frontier;
@@ -74,7 +169,7 @@ std::vector<std::uint64_t> Topology::hop_distances(NodeId from) const {
   while (!frontier.empty()) {
     const NodeId u = frontier.front();
     frontier.pop();
-    for (const Link& l : adjacency_[u]) {
+    for (const Link& l : neighbors(u)) {
       if (dist[l.to] == kNeverSlot) {
         dist[l.to] = dist[u] + 1;
         frontier.push(l.to);

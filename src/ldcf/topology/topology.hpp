@@ -1,10 +1,21 @@
 // Network topology: node positions plus a weighted link graph.
 //
 // Links carry a packet reception ratio (PRR) per direction; the graph is
-// stored as per-node adjacency lists sorted by neighbor id. Node 0 is the
-// flooding source by convention (paper §III-A).
+// stored in a CSR (compressed sparse row) layout — one flat, id-sorted link
+// array plus per-node offsets — so the simulator's scatter/gather passes
+// walk contiguous memory even at 100k nodes. Node 0 is the flooding source
+// by convention (paper §III-A).
+//
+// Construction is two-phase behind an unchanged API: add_link inserts into
+// per-node staging rows (with immediate duplicate/range validation, exactly
+// as before), and the first read-side query seals the staging rows into the
+// CSR arrays and releases them. A later add_link thaws the CSR back into
+// staging, so interleaved build/query code keeps working; it just pays a
+// re-seal. Sealing is idempotent, thread-safe (double-checked under a
+// global mutex) and observable only through memory locality.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -15,7 +26,7 @@
 
 namespace ldcf::topology {
 
-/// One directed link entry in a node's adjacency list.
+/// One directed link entry in a node's adjacency row.
 struct Link {
   NodeId to = kNoNode;
   double prr = 0.0;  ///< packet reception ratio in (0, 1].
@@ -29,8 +40,15 @@ class Topology {
   /// Construct with `count` nodes (ids 0..count-1) at the given positions.
   explicit Topology(std::vector<Point2D> positions);
 
+  Topology(const Topology& other);
+  Topology& operator=(const Topology& other);
+  Topology(Topology&& other) noexcept;
+  Topology& operator=(Topology&& other) noexcept;
+  ~Topology() = default;
+
   /// Add a directed link u -> v with the given PRR. Throws on out-of-range
-  /// ids, self-loops, PRR outside (0, 1], or duplicate links.
+  /// ids, self-loops, PRR outside (0, 1], or duplicate links. Invalidates
+  /// spans previously returned by neighbors().
   void add_link(NodeId from, NodeId to, double prr);
 
   /// Add u <-> v with the same PRR both ways.
@@ -49,7 +67,13 @@ class Topology {
 
   [[nodiscard]] const Point2D& position(NodeId n) const;
 
-  /// Out-neighbors of `n`, sorted by neighbor id.
+  /// All node positions, indexed by id. Valid for the topology's lifetime.
+  [[nodiscard]] std::span<const Point2D> positions() const {
+    return positions_;
+  }
+
+  /// Out-neighbors of `n`, sorted by neighbor id. The span points into the
+  /// CSR link array and stays valid until the next add_link.
   [[nodiscard]] std::span<const Link> neighbors(NodeId n) const;
 
   /// PRR of the directed link u -> v, or nullopt if absent.
@@ -78,10 +102,31 @@ class Topology {
   /// Maximum finite hop distance from the source.
   [[nodiscard]] std::uint64_t eccentricity_from_source() const;
 
+  /// Force the CSR seal now (it otherwise happens lazily on first query).
+  /// Generators call this before handing a topology to concurrent readers.
+  void seal() const { ensure_sealed(); }
+
+  /// True when the CSR arrays are current (introspection for tests).
+  [[nodiscard]] bool sealed() const {
+    return sealed_.load(std::memory_order_acquire);
+  }
+
  private:
+  /// Seal staging rows into the CSR arrays (idempotent, thread-safe).
+  void ensure_sealed() const;
+  /// Rebuild staging rows from the CSR arrays before a mutation.
+  void thaw();
+
   std::vector<Point2D> positions_;
-  std::vector<std::vector<Link>> adjacency_;
   std::size_t num_links_ = 0;
+
+  // Build-phase adjacency rows; emptied by the seal, rebuilt by a thaw.
+  mutable std::vector<std::vector<Link>> staging_;
+
+  // CSR adjacency: row n is csr_links_[csr_offsets_[n] .. csr_offsets_[n+1]).
+  mutable std::vector<std::size_t> csr_offsets_;
+  mutable std::vector<Link> csr_links_;
+  mutable std::atomic<bool> sealed_{false};
 };
 
 }  // namespace ldcf::topology

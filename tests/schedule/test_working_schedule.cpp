@@ -1,5 +1,6 @@
 #include "ldcf/schedule/working_schedule.hpp"
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -200,6 +201,45 @@ TEST(MultiSlotSchedule, SleepLatencyShrinksWithMoreSlots) {
   const ScheduleSet one(10, DutyCycle{20}, rng, 1);
   const ScheduleSet four(10, DutyCycle{20}, rng, 4);
   EXPECT_GT(one.expected_sleep_latency(), four.expected_sleep_latency());
+}
+
+TEST(MultiSlotSchedule, DenseSlotCountsStayDistinct) {
+  // k near T exercises the Fisher-Yates path (rejection sampling would
+  // approach the coupon-collector bound here). Every node must still get
+  // exactly k distinct sorted slots.
+  Rng rng(9);
+  for (const std::uint32_t k : {19u, 20u}) {
+    Rng local(rng.fork_seed());
+    const ScheduleSet sched(40, DutyCycle{20}, local, k);
+    for (NodeId n = 0; n < 40; ++n) {
+      const auto slots = sched.active_slots(n);
+      ASSERT_EQ(slots.size(), k);
+      for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+        EXPECT_LT(slots[i], slots[i + 1]);  // sorted and distinct.
+      }
+      EXPECT_LT(slots.back(), 20u);
+    }
+  }
+}
+
+TEST(MultiSlotSchedule, DenseSlotsAreRoughlyUniform) {
+  // The Fisher-Yates path must not bias which slots get picked: with
+  // k = 3 of T = 4 over many nodes, every slot should be excluded about
+  // a quarter of the time.
+  Rng rng(33);
+  const std::size_t nodes = 4000;
+  const ScheduleSet sched(nodes, DutyCycle{4}, rng, 3);
+  std::vector<std::size_t> excluded(4, 0);
+  for (NodeId n = 0; n < nodes; ++n) {
+    const auto slots = sched.active_slots(n);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      if (!std::binary_search(slots.begin(), slots.end(), s)) ++excluded[s];
+    }
+  }
+  for (const std::size_t count : excluded) {
+    EXPECT_GT(count, nodes / 4 - nodes / 10);
+    EXPECT_LT(count, nodes / 4 + nodes / 10);
+  }
 }
 
 TEST(MultiSlotSchedule, RejectsBadSlotCounts) {

@@ -44,6 +44,33 @@ TEST(LinkBurstModel, WindowArithmetic) {
   EXPECT_FALSE(burst.active_at(321));
 }
 
+TEST(LinkBurstModel, ValidFlagsStructuralProblems) {
+  EXPECT_TRUE(LinkBurst{}.valid());
+  EXPECT_TRUE((LinkBurst{0.5, 0, 10, 10}.valid()));   // permanent burst.
+  EXPECT_FALSE((LinkBurst{0.5, 0, 100, 0}.valid()));  // division by zero.
+  EXPECT_FALSE((LinkBurst{0.5, 0, 11, 10}.valid()));  // window > period.
+}
+
+TEST(LinkBurstModel, ZeroPeriodIsRejectedByTheEngine) {
+  // period == 0 used to reach active_at's modulo unchecked — UB on the
+  // very first slot. The engine must refuse the config up front.
+  const auto topo = trace();
+  Perturbations perturb;
+  perturb.burst = LinkBurst{0.5, 0, 100, 0};
+  EXPECT_THROW((void)run(topo, perturb, 1), InvalidArgument);
+}
+
+TEST(LinkBurstModel, DurationBeyondPeriodIsRejectedByTheEngine) {
+  // duration > period silently meant "always bursting" — a masked config
+  // typo. The explicit spelling (duration == period) remains allowed.
+  const auto topo = trace();
+  Perturbations perturb;
+  perturb.burst = LinkBurst{0.5, 50, 25, 20};
+  EXPECT_THROW((void)run(topo, perturb, 1), InvalidArgument);
+  perturb.burst = LinkBurst{0.9, 0, 20, 20};
+  EXPECT_NO_THROW((void)run(topo, perturb, 1));
+}
+
 TEST(Perturbation, NoPerturbationMatchesBaseline) {
   const auto topo = trace();
   const auto base = run(topo, Perturbations{});

@@ -126,6 +126,155 @@ TEST(Generators, ClusteredPlacementStaysInArea) {
   }
 }
 
+TEST(Generators, SpatialHashMatchesLegacyAllPairsBitForBit) {
+  // The grid-based builder must replay the historical nested-loop draw
+  // sequence exactly: same positions, then the same RSSI/asymmetry draws
+  // in ascending (a, b) pair order. Reconstruct that legacy algorithm here
+  // and demand link-for-link, bit-for-bit equality.
+  GeneratorConfig config;
+  config.num_sensors = 120;
+  config.area_side_m = 300.0;
+  config.seed = 17;
+  config.require_connectivity = false;  // exactly one attempt, seed verbatim.
+  const Topology topo = make_uniform(config);
+
+  Rng rng(config.seed);
+  std::vector<Point2D> pts(config.num_sensors + 1);
+  for (auto& p : pts) {
+    p = Point2D{rng.uniform() * config.area_side_m,
+                rng.uniform() * config.area_side_m};
+  }
+  Topology reference(std::move(pts));
+  const RadioModel& radio = config.radio;
+  const double max_range = radio.range_at_prr(0.01) * 1.5;
+  const auto n = static_cast<NodeId>(reference.num_nodes());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const double dist = distance(reference.position(a),
+                                   reference.position(b));
+      if (dist > max_range) continue;
+      const double rssi = radio.sample_rssi_dbm(dist, rng);
+      const double asym = 0.5 * rng.normal();
+      const double prr_ab = radio.prr_of_rssi(rssi + asym);
+      const double prr_ba = radio.prr_of_rssi(rssi - asym);
+      if (prr_ab >= radio.min_usable_prr) reference.add_link(a, b, prr_ab);
+      if (prr_ba >= radio.min_usable_prr) reference.add_link(b, a, prr_ba);
+    }
+  }
+
+  ASSERT_EQ(topo.num_links(), reference.num_links());
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    EXPECT_EQ(topo.position(v), reference.position(v));
+    const auto got = topo.neighbors(v);
+    const auto want = reference.neighbors(v);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].to, want[i].to);
+      EXPECT_EQ(got[i].prr, want[i].prr);  // bit-identical, not just close.
+    }
+  }
+}
+
+TEST(Generators, PairKeyedLinksAreRecomputableInIsolation) {
+  // In kPairKeyed mode every unordered pair draws from its own stream
+  // seeded by (attempt seed, min, max) — so any link's PRR can be
+  // recomputed knowing only the endpoints, independent of enumeration
+  // order. That property is what makes the realization order-independent.
+  GeneratorConfig config;
+  config.num_sensors = 90;
+  config.area_side_m = 260.0;
+  config.seed = 31;
+  config.require_connectivity = false;
+  config.link_rng = LinkRngMode::kPairKeyed;
+  const Topology topo = make_uniform_disk(config);
+
+  const RadioModel& radio = config.radio;
+  const double max_range = radio.range_at_prr(0.01) * 1.5;
+  std::size_t checked = 0;
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (const Link& l : topo.neighbors(a)) {
+      if (l.to < a) continue;  // check each unordered pair from its low end.
+      const double dist = distance(topo.position(a), topo.position(l.to));
+      ASSERT_LE(dist, max_range);
+      Rng pair_rng(pair_stream_seed(config.seed, a, l.to));
+      const double rssi = radio.sample_rssi_dbm(dist, pair_rng);
+      const double asym = 0.5 * pair_rng.normal();
+      EXPECT_EQ(l.prr, radio.prr_of_rssi(rssi + asym));
+      const auto back = topo.prr(l.to, a);
+      if (back.has_value()) {
+        EXPECT_EQ(back.value(), radio.prr_of_rssi(rssi - asym));
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100u);  // the disk actually produced a real link set.
+}
+
+TEST(Generators, SequentialAndKeyedModesDifferButShareGeometry) {
+  GeneratorConfig config;
+  config.num_sensors = 70;
+  config.area_side_m = 200.0;
+  config.seed = 4;
+  config.require_connectivity = false;
+  const Topology sequential = make_uniform(config);
+  config.link_rng = LinkRngMode::kPairKeyed;
+  const Topology keyed = make_uniform(config);
+  ASSERT_EQ(sequential.num_nodes(), keyed.num_nodes());
+  for (NodeId v = 0; v < sequential.num_nodes(); ++v) {
+    EXPECT_EQ(sequential.position(v), keyed.position(v));  // placement shared.
+  }
+  // The two draw schemes are different random realizations of the same
+  // radio model; identical link sets would mean the mode flag is dead.
+  bool any_diff = sequential.num_links() != keyed.num_links();
+  for (NodeId v = 0; !any_diff && v < sequential.num_nodes(); ++v) {
+    const auto a = sequential.neighbors(v);
+    const auto b = keyed.neighbors(v);
+    any_diff = a.size() != b.size();
+    for (std::size_t i = 0; !any_diff && i < a.size(); ++i) {
+      any_diff = a[i].to != b[i].to || a[i].prr != b[i].prr;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, UniformDiskCentersSourceAndStaysInDisk) {
+  GeneratorConfig config;
+  config.num_sensors = 150;
+  config.area_side_m = 300.0;
+  config.seed = 2;
+  const Topology topo = make_uniform_disk(config);
+  EXPECT_EQ(topo.num_sensors(), 150u);
+  const double radius = 0.5 * config.area_side_m;
+  const Point2D center{radius, radius};
+  EXPECT_EQ(topo.position(0), center);
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    EXPECT_LE(distance(topo.position(v), center), radius + 1e-9);
+  }
+  EXPECT_GT(topo.mean_degree(), 1.0);
+}
+
+TEST(Generators, ScaledClusterConfigKeepsGreenOrbsDensity) {
+  const ClusterConfig at_paper_size = scaled_cluster_config(298, 5);
+  EXPECT_EQ(at_paper_size.base.num_sensors, 298u);
+  EXPECT_NEAR(at_paper_size.base.area_side_m, 560.0, 1e-9);
+  EXPECT_DOUBLE_EQ(at_paper_size.base.radio.path_loss_exponent, 3.3);
+
+  // Density (sensors per unit area) is invariant across sizes.
+  const ClusterConfig big = scaled_cluster_config(4 * 298, 5);
+  EXPECT_NEAR(big.base.area_side_m, 2.0 * 560.0, 1e-9);
+  EXPECT_EQ(big.num_clusters, (4u * 298u) / 17u);
+  EXPECT_EQ(scaled_cluster_config(10, 1).num_clusters, 4u);  // floor.
+
+  // A mid-size instance builds and keeps a GreenOrbs-like degree.
+  ClusterConfig mid = scaled_cluster_config(600, 3);
+  mid.base.require_connectivity = false;
+  mid.base.link_rng = LinkRngMode::kPairKeyed;
+  const Topology topo = make_clustered(mid);
+  EXPECT_EQ(topo.num_sensors(), 600u);
+  EXPECT_GT(topo.mean_degree(), 4.0);
+  EXPECT_LT(topo.mean_degree(), 120.0);
+}
+
 class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(GeneratorSeedSweep, GreenOrbsLikeAlwaysViable) {

@@ -1,0 +1,141 @@
+#include "ldcf/topology/spatial_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/common/rng.hpp"
+#include "ldcf/topology/geometry.hpp"
+
+namespace ldcf::topology {
+namespace {
+
+std::vector<Point2D> random_points(std::size_t count, double side,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2D> pts(count);
+  for (auto& p : pts) {
+    p = Point2D{rng.uniform() * side, rng.uniform() * side};
+  }
+  return pts;
+}
+
+/// Reference enumeration: all pairs within `radius`, partners above `a`.
+std::vector<NodeId> brute_partners_above(const std::vector<Point2D>& pts,
+                                         NodeId a, double radius) {
+  std::vector<NodeId> out;
+  for (NodeId b = a + 1; b < pts.size(); ++b) {
+    if (distance(pts[a], pts[b]) <= radius) out.push_back(b);
+  }
+  return out;
+}
+
+TEST(SpatialHash, RejectsBadInputs) {
+  const std::vector<Point2D> pts = {{0.0, 0.0}};
+  EXPECT_THROW(SpatialHashGrid(std::span<const Point2D>{}, 10.0),
+               InvalidArgument);
+  EXPECT_THROW(SpatialHashGrid(pts, 0.0), InvalidArgument);
+  EXPECT_THROW(SpatialHashGrid(pts, -1.0), InvalidArgument);
+}
+
+TEST(SpatialHash, EveryNodeLandsInExactlyOneCell) {
+  const auto pts = random_points(500, 300.0, 11);
+  const SpatialHashGrid grid(pts, 40.0);
+  std::vector<std::size_t> seen(pts.size(), 0);
+  for (std::size_t c = 0; c < grid.num_cells(); ++c) {
+    for (const NodeId n : grid.cell_nodes(c)) {
+      ASSERT_LT(n, pts.size());
+      ++seen[n];
+      EXPECT_EQ(grid.cell_of(pts[n]), c);
+    }
+  }
+  for (const std::size_t count : seen) EXPECT_EQ(count, 1u);
+}
+
+TEST(SpatialHash, BucketsAreAscending) {
+  const auto pts = random_points(400, 250.0, 3);
+  const SpatialHashGrid grid(pts, 30.0);
+  for (std::size_t c = 0; c < grid.num_cells(); ++c) {
+    const auto nodes = grid.cell_nodes(c);
+    EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+  }
+}
+
+TEST(SpatialHash, CandidatesAreSupersetOfInRangePartners) {
+  const double radius = 35.0;
+  const auto pts = random_points(600, 400.0, 7);
+  const SpatialHashGrid grid(pts, radius);
+  std::vector<NodeId> candidates;
+  for (NodeId a = 0; a < pts.size(); ++a) {
+    grid.candidates_above(a, candidates);
+    EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+    for (const NodeId b : candidates) EXPECT_GT(b, a);
+    for (const NodeId b : brute_partners_above(pts, a, radius)) {
+      EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(), b))
+          << "in-range pair (" << a << ", " << b << ") missed by the grid";
+    }
+  }
+}
+
+TEST(SpatialHash, SupersetSurvivesTheCellCountCap) {
+  // A huge sparse area forces the per-axis O(sqrt(N)) cell cap to engage
+  // (cells get wider than requested); the superset guarantee must hold.
+  const double radius = 5.0;
+  const auto pts = random_points(64, 10'000.0, 19);
+  const SpatialHashGrid grid(pts, radius);
+  EXPECT_LE(grid.cols(), 2u * 8u + 1u);
+  EXPECT_LE(grid.rows(), 2u * 8u + 1u);
+  std::vector<NodeId> candidates;
+  for (NodeId a = 0; a < pts.size(); ++a) {
+    grid.candidates_above(a, candidates);
+    for (const NodeId b : brute_partners_above(pts, a, radius)) {
+      EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(), b));
+    }
+  }
+}
+
+TEST(SpatialHash, HandlesDegenerateGeometry) {
+  // All points coincident: one cell, everyone is everyone's candidate.
+  const std::vector<Point2D> same(10, Point2D{5.0, 5.0});
+  const SpatialHashGrid grid(same, 1.0);
+  EXPECT_EQ(grid.num_cells(), 1u);
+  std::vector<NodeId> candidates;
+  grid.candidates_above(0, candidates);
+  EXPECT_EQ(candidates.size(), 9u);
+
+  // Collinear points: a 1-row grid still covers neighbors.
+  std::vector<Point2D> line;
+  for (int i = 0; i < 20; ++i) {
+    line.push_back(Point2D{static_cast<double>(i) * 10.0, 0.0});
+  }
+  const SpatialHashGrid line_grid(line, 15.0);
+  for (NodeId a = 0; a < line.size(); ++a) {
+    line_grid.candidates_above(a, candidates);
+    for (const NodeId b : brute_partners_above(line, a, 15.0)) {
+      EXPECT_TRUE(
+          std::binary_search(candidates.begin(), candidates.end(), b));
+    }
+  }
+}
+
+TEST(SpatialHash, CandidateUnionCoversEveryPairExactlyOnce) {
+  // Summing candidates_above over all nodes enumerates each unordered pair
+  // at most once (b > a filter) and covers all close pairs.
+  const auto pts = random_points(200, 120.0, 23);
+  const SpatialHashGrid grid(pts, 25.0);
+  std::vector<NodeId> candidates;
+  std::size_t listed = 0;
+  for (NodeId a = 0; a < pts.size(); ++a) {
+    grid.candidates_above(a, candidates);
+    listed += candidates.size();
+    EXPECT_TRUE(std::adjacent_find(candidates.begin(), candidates.end()) ==
+                candidates.end());
+  }
+  EXPECT_LE(listed, pts.size() * (pts.size() - 1) / 2);
+}
+
+}  // namespace
+}  // namespace ldcf::topology

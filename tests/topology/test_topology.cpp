@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
 #include "ldcf/common/error.hpp"
 
 namespace ldcf::topology {
@@ -105,6 +110,106 @@ TEST(Topology, HopDistanceRespectsDirectedness) {
   // No reverse links: node 2 cannot reach 0.
   EXPECT_EQ(topo.hop_distances(0)[2], 2u);
   EXPECT_EQ(topo.hop_distances(2)[0], kNeverSlot);
+}
+
+TEST(Topology, SealsLazilyOnFirstQuery) {
+  Topology topo(std::vector<Point2D>(3));
+  topo.add_link(0, 1, 0.5);
+  EXPECT_FALSE(topo.sealed());
+  EXPECT_EQ(topo.neighbors(0).size(), 1u);  // first query seals.
+  EXPECT_TRUE(topo.sealed());
+  topo.seal();  // idempotent.
+  EXPECT_TRUE(topo.sealed());
+}
+
+TEST(Topology, ThawsOnAddLinkAfterSeal) {
+  // Interleaved build/query: queries between add_links must keep seeing
+  // consistent state (the CSR re-seals transparently).
+  Topology topo(std::vector<Point2D>(4));
+  topo.add_link(0, 1, 0.5);
+  EXPECT_TRUE(topo.has_link(0, 1));  // seals.
+  topo.add_link(0, 2, 0.6);          // thaws.
+  EXPECT_FALSE(topo.sealed());
+  topo.add_link(2, 3, 0.7);
+  EXPECT_TRUE(topo.has_link(0, 2));  // re-seals.
+  EXPECT_TRUE(topo.has_link(2, 3));
+  EXPECT_TRUE(topo.has_link(0, 1));  // earlier link survived the round trip.
+  EXPECT_EQ(topo.num_links(), 3u);
+  // Duplicate detection still works across a thaw.
+  EXPECT_THROW(topo.add_link(0, 1, 0.5), InvalidArgument);
+}
+
+TEST(Topology, CsrRowsAreContiguousAndSorted) {
+  Topology topo = line_of(6, 0.8);
+  topo.seal();
+  // Adjacent nodes' spans tile one flat array: row n ends where row n+1
+  // starts (links of a line: 1, 2, 2, 2, 2, 1).
+  const auto first = topo.neighbors(0);
+  EXPECT_EQ(first.size(), 1u);
+  const Link* expected_next = first.data() + first.size();
+  for (NodeId n = 1; n < topo.num_nodes(); ++n) {
+    const auto row = topo.neighbors(n);
+    EXPECT_EQ(row.data(), expected_next);
+    EXPECT_TRUE(std::is_sorted(
+        row.begin(), row.end(),
+        [](const Link& a, const Link& b) { return a.to < b.to; }));
+    expected_next = row.data() + row.size();
+  }
+}
+
+TEST(Topology, CopyAndMovePreserveGraphAndSealState) {
+  Topology topo = line_of(5, 0.9);
+  topo.seal();
+  const Topology copy(topo);
+  EXPECT_TRUE(copy.sealed());
+  EXPECT_EQ(copy.num_links(), topo.num_links());
+  EXPECT_EQ(copy.prr(1, 2).value(), 0.9);
+
+  Topology unsealed = line_of(5, 0.4);
+  const Topology copied_unsealed(unsealed);
+  EXPECT_FALSE(copied_unsealed.sealed());
+  EXPECT_EQ(copied_unsealed.prr(3, 4).value(), 0.4);
+
+  Topology moved(std::move(topo));
+  EXPECT_TRUE(moved.sealed());
+  EXPECT_EQ(moved.num_links(), 8u);
+  EXPECT_EQ(moved.prr(0, 1).value(), 0.9);
+
+  Topology assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.num_links(), 8u);
+  EXPECT_TRUE(assigned.has_link(4, 3));
+}
+
+TEST(Topology, ConcurrentFirstQueriesSealOnce) {
+  // The lazy seal is double-checked behind a mutex; hammer the first-query
+  // window from several threads (this is the case the TSan job watches).
+  Topology topo = line_of(200, 0.7);
+  ASSERT_FALSE(topo.sealed());
+  std::vector<std::thread> workers;
+  std::atomic<std::size_t> total{0};
+  workers.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&topo, &total] {
+      std::size_t links = 0;
+      for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        links += topo.neighbors(n).size();
+      }
+      total += links;
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_TRUE(topo.sealed());
+  EXPECT_EQ(total.load(), 4u * topo.num_links());
+}
+
+TEST(Topology, PositionsSpanMatchesAccessor) {
+  Topology topo(std::vector<Point2D>{{0, 0}, {3, 4}, {6, 8}});
+  const auto span = topo.positions();
+  ASSERT_EQ(span.size(), 3u);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_EQ(span[n], topo.position(n));
+  }
 }
 
 }  // namespace
