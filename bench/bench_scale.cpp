@@ -3,12 +3,24 @@
 // order-independent pair-keyed link RNG). Construction must scale near
 // linearly in N — the spatial hash grid replaced the historical all-pairs
 // O(N^2) loop precisely to make the 100k row of this bench finishable.
+// Two sim segments per size, each through both engine modes — compact time
+// (default) and the dense slot-by-slot loop — cross-checked for agreement:
+//
+//   * saturated: back-to-back generations (spacing 1), every slot carries
+//     flood traffic, so the rows measure the staged loop's busy-slot cost
+//     (compact can skip almost nothing here and the bench proves it);
+//   * interactive: generations LDCF_SCALE_SPACING slots apart, the
+//     low-duty-cycle deployment shape where most slots are provably idle —
+//     this is the workload the compact engine exists for, and its
+//     slots/sec column carries the headline speedup (virtual slots per
+//     wall second; skipped slots are simulated time too).
 //
 // Env knobs: LDCF_SCALE_NODES (comma-separated sensor counts, default
-// "1000,10000,100000"), LDCF_SCALE_MAX_SLOTS (sim segment bound, default
-// 5000), LDCF_BENCH_PACKETS (default 2), LDCF_BENCH_REPS (best-of, default
-// 3), LDCF_BENCH_REPORT (JSON output path, default BENCH_scale.json; empty
-// disables it).
+// "1000,10000,100000"), LDCF_SCALE_MAX_SLOTS (saturated segment bound,
+// default 5000), LDCF_SCALE_SPACING (interactive generation spacing,
+// default 60000), LDCF_BENCH_PACKETS (default 2), LDCF_BENCH_REPS
+// (best-of, default 3), LDCF_BENCH_REPORT (JSON output path, default
+// BENCH_scale.json; empty disables it).
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -34,8 +46,21 @@ struct ScaleRow {
   double nodes_per_sec = 0.0;
   std::uint64_t sim_slots = 0;
   double sim_seconds = 0.0;
-  double slots_per_sec = 0.0;
+  double slots_per_sec = 0.0;       ///< compact engine (the default mode).
+  double sim_seconds_dense = 0.0;
+  double slots_per_sec_dense = 0.0; ///< dense slot-by-slot loop, same run.
+  double compact_speedup = 0.0;     ///< slots_per_sec / slots_per_sec_dense.
+  std::uint64_t slots_skipped = 0;  ///< slots the compact run fast-forwarded.
   bool truncated = false;
+  // Interactive segment: sparse generations, mostly idle slots.
+  std::uint64_t interactive_slots = 0;
+  double interactive_seconds = 0.0;
+  double interactive_slots_per_sec = 0.0;
+  double interactive_seconds_dense = 0.0;
+  double interactive_slots_per_sec_dense = 0.0;
+  double interactive_speedup = 0.0;
+  std::uint64_t interactive_slots_skipped = 0;
+  bool interactive_truncated = false;
 };
 
 std::vector<std::uint32_t> sensor_counts() {
@@ -65,6 +90,14 @@ std::uint64_t max_slots() {
   return 5000;
 }
 
+std::uint32_t interactive_spacing() {
+  if (const char* env = std::getenv("LDCF_SCALE_SPACING")) {
+    const long long value = std::strtoll(env, nullptr, 10);
+    if (value > 0) return static_cast<std::uint32_t>(value);
+  }
+  return 60'000;
+}
+
 void write_bench_report(const std::string& path,
                         const ldcf::sim::SimConfig& config, std::uint32_t reps,
                         const std::vector<ScaleRow>& rows) {
@@ -84,6 +117,8 @@ void write_bench_report(const std::string& path,
       .field("num_packets", config.num_packets)
       .field("duty_percent", 100.0 * config.duty.ratio())
       .field("max_slots", config.max_slots)
+      .field("interactive_spacing",
+             static_cast<std::uint64_t>(interactive_spacing()))
       .field("seed", config.seed)
       .field("best_of", reps)
       .end_object();
@@ -99,7 +134,20 @@ void write_bench_report(const std::string& path,
         .field("sim_slots", row.sim_slots)
         .field("sim_seconds", row.sim_seconds)
         .field("slots_per_sec", row.slots_per_sec)
+        .field("sim_seconds_dense", row.sim_seconds_dense)
+        .field("slots_per_sec_dense", row.slots_per_sec_dense)
+        .field("compact_speedup", row.compact_speedup)
+        .field("slots_skipped", row.slots_skipped)
         .field("truncated", row.truncated)
+        .field("interactive_slots", row.interactive_slots)
+        .field("interactive_seconds", row.interactive_seconds)
+        .field("interactive_slots_per_sec", row.interactive_slots_per_sec)
+        .field("interactive_seconds_dense", row.interactive_seconds_dense)
+        .field("interactive_slots_per_sec_dense",
+               row.interactive_slots_per_sec_dense)
+        .field("interactive_speedup", row.interactive_speedup)
+        .field("interactive_slots_skipped", row.interactive_slots_skipped)
+        .field("interactive_truncated", row.interactive_truncated)
         .end_object();
   }
   json.end_array().end_object();
@@ -126,11 +174,13 @@ int main() {
 
   std::cout << "=== Topology + engine scaling (dbao, M = "
             << config.num_packets << ", duty "
-            << 100.0 * config.duty.ratio() << "%, sim segment <= "
-            << config.max_slots << " slots, best of " << reps << ") ===\n";
+            << 100.0 * config.duty.ratio() << "%, saturated segment <= "
+            << config.max_slots << " slots, interactive spacing "
+            << interactive_spacing() << ", best of " << reps << ") ===\n";
 
   Table table({"sensors", "links", "degree", "build ms", "nodes/sec",
-               "sim slots", "sim ms", "slots/sec"});
+               "sim slots", "sim ms", "slots/sec", "speedup", "int slots",
+               "int slots/sec", "int speedup"});
   std::vector<ScaleRow> rows;
   for (const std::uint32_t sensors : counts) {
     topology::ClusterConfig gen = topology::scaled_cluster_config(sensors, 1);
@@ -148,16 +198,66 @@ int main() {
       }
     }
 
-    double sim_best = 0.0;
-    sim::SimResult result;
-    for (std::uint32_t rep = 0; rep < reps; ++rep) {
-      const auto proto = protocols::make_protocol("dbao");
-      const auto start = Clock::now();
-      result = sim::run_simulation(topo, config, *proto);
-      const std::chrono::duration<double> elapsed = Clock::now() - start;
-      if (rep == 0 || elapsed.count() < sim_best) {
-        sim_best = elapsed.count();
+    // Each segment runs through both engine modes: compact (the default)
+    // and the dense slot-by-slot loop. The differential suite proves the
+    // modes bit-identical; the cross-check keeps this bench honest about
+    // it.
+    const auto time_both_modes =
+        [&](const sim::SimConfig& segment, sim::SimResult& result,
+            double& compact_best, double& dense_best) -> bool {
+      sim::SimResult dense_result;
+      for (std::uint32_t rep = 0; rep < reps; ++rep) {
+        sim::SimConfig compact_config = segment;
+        compact_config.compact_time = true;
+        const auto proto = protocols::make_protocol("dbao");
+        const auto start = Clock::now();
+        result = sim::run_simulation(topo, compact_config, *proto);
+        const std::chrono::duration<double> elapsed = Clock::now() - start;
+        if (rep == 0 || elapsed.count() < compact_best) {
+          compact_best = elapsed.count();
+        }
       }
+      for (std::uint32_t rep = 0; rep < reps; ++rep) {
+        sim::SimConfig dense_config = segment;
+        dense_config.compact_time = false;
+        const auto proto = protocols::make_protocol("dbao");
+        const auto start = Clock::now();
+        dense_result = sim::run_simulation(topo, dense_config, *proto);
+        const std::chrono::duration<double> elapsed = Clock::now() - start;
+        if (rep == 0 || elapsed.count() < dense_best) {
+          dense_best = elapsed.count();
+        }
+      }
+      if (dense_result.metrics.end_slot != result.metrics.end_slot ||
+          dense_result.metrics.channel.attempts !=
+              result.metrics.channel.attempts) {
+        std::cerr << "bench_scale: dense/compact divergence at N=" << sensors
+                  << " (end_slot " << dense_result.metrics.end_slot << " vs "
+                  << result.metrics.end_slot << ", attempts "
+                  << dense_result.metrics.channel.attempts << " vs "
+                  << result.metrics.channel.attempts << ")\n";
+        return false;
+      }
+      return true;
+    };
+
+    double sim_best = 0.0;
+    double dense_best = 0.0;
+    sim::SimResult result;
+    if (!time_both_modes(config, result, sim_best, dense_best)) return 1;
+
+    sim::SimConfig interactive = config;
+    interactive.packet_spacing = interactive_spacing();
+    interactive.max_slots =
+        static_cast<std::uint64_t>(config.num_packets) *
+        interactive.packet_spacing +
+        config.max_slots;
+    double interactive_best = 0.0;
+    double interactive_dense_best = 0.0;
+    sim::SimResult interactive_result;
+    if (!time_both_modes(interactive, interactive_result, interactive_best,
+                         interactive_dense_best)) {
+      return 1;
     }
 
     ScaleRow row;
@@ -172,7 +272,26 @@ int main() {
     row.sim_seconds = sim_best;
     row.slots_per_sec =
         static_cast<double>(result.metrics.end_slot) / sim_best;
+    row.sim_seconds_dense = dense_best;
+    row.slots_per_sec_dense =
+        static_cast<double>(result.metrics.end_slot) / dense_best;
+    row.compact_speedup = row.slots_per_sec / row.slots_per_sec_dense;
+    row.slots_skipped = result.profile.slots_skipped;
     row.truncated = result.metrics.truncated;
+    row.interactive_slots = interactive_result.metrics.end_slot;
+    row.interactive_seconds = interactive_best;
+    row.interactive_slots_per_sec =
+        static_cast<double>(interactive_result.metrics.end_slot) /
+        interactive_best;
+    row.interactive_seconds_dense = interactive_dense_best;
+    row.interactive_slots_per_sec_dense =
+        static_cast<double>(interactive_result.metrics.end_slot) /
+        interactive_dense_best;
+    row.interactive_speedup =
+        row.interactive_slots_per_sec / row.interactive_slots_per_sec_dense;
+    row.interactive_slots_skipped =
+        interactive_result.profile.slots_skipped;
+    row.interactive_truncated = interactive_result.metrics.truncated;
     rows.push_back(row);
 
     table.add_row({Table::num(row.sensors), Table::num(row.links),
@@ -181,7 +300,11 @@ int main() {
                    Table::num(row.nodes_per_sec, 0),
                    Table::num(row.sim_slots),
                    Table::num(1e3 * row.sim_seconds, 1),
-                   Table::num(row.slots_per_sec, 0)});
+                   Table::num(row.slots_per_sec, 0),
+                   Table::num(row.compact_speedup, 2),
+                   Table::num(row.interactive_slots),
+                   Table::num(row.interactive_slots_per_sec, 0),
+                   Table::num(row.interactive_speedup, 2)});
   }
   table.print(std::cout);
 

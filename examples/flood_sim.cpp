@@ -27,6 +27,9 @@
 //     --reps R           average over R seeds (seed, seed+1, ...; default 1)
 //     --threads N        trial workers for --reps: 0 = all cores, 1 = serial
 //     --csv              machine-readable per-packet output (single run only)
+//     --compact-time on|off  compact time scale: fast-forward provably idle
+//                        slots (default on; bit-identical either way — off
+//                        forces the dense slot-by-slot loop)
 //     --report PATH      write a provenance-stamped JSON report: config,
 //                        topology fingerprint, git SHA, stage-profiler
 //                        timings, delay/energy histograms (enables the
@@ -198,6 +201,15 @@ int run_cli(int argc, char** argv) {
       threads = static_cast<std::uint32_t>(parse_u64(next()));
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--compact-time") {
+      const std::string mode = next();
+      if (mode == "on") {
+        config.compact_time = true;
+      } else if (mode == "off") {
+        config.compact_time = false;
+      } else {
+        usage_error("--compact-time wants on|off");
+      }
     } else {
       usage_error("unknown option " + arg);
     }

@@ -4,6 +4,7 @@
     scripts/bench_compare.py [--fresh BENCH_engine.json]
                              [--reference BENCH_engine.json]
                              [--min-ratio 0.25]
+                             [--min-abs FIELD=VALUE ...]
 
 Reads two ldcf.bench_report.v1 files and, per result row common to both
 (engine reports key rows by protocol, scale reports by size label):
@@ -28,8 +29,22 @@ import sys
 # Fields that must be bit-identical on the same workload, and fields that
 # only need to clear the throughput floor. Rows carry a subset of these
 # depending on the bench (engine vs scale).
-EXACT_FIELDS = ("slots", "attempts", "links", "sim_slots")
-RATE_FIELDS = ("slots_per_sec", "nodes_per_sec")
+EXACT_FIELDS = (
+    "slots",
+    "attempts",
+    "links",
+    "sim_slots",
+    "slots_skipped",
+    "interactive_slots",
+    "interactive_slots_skipped",
+)
+RATE_FIELDS = (
+    "slots_per_sec",
+    "nodes_per_sec",
+    "slots_per_sec_dense",
+    "interactive_slots_per_sec",
+    "interactive_slots_per_sec_dense",
+)
 
 
 def load_report(path):
@@ -79,7 +94,28 @@ def main():
         default=0.25,
         help="minimum fresh/reference throughput per row (default 0.25)",
     )
+    parser.add_argument(
+        "--min-abs",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help=(
+            "absolute floor a field must clear in every fresh row that "
+            "carries it, e.g. --min-abs slots_per_sec=9000 (repeatable); "
+            "unlike --min-ratio this holds even when the reference moves"
+        ),
+    )
     args = parser.parse_args()
+
+    floors = {}
+    for spec in args.min_abs:
+        field, sep, value = spec.partition("=")
+        if not sep:
+            sys.exit(f"bench_compare: bad --min-abs spec {spec!r}")
+        try:
+            floors[field] = float(value)
+        except ValueError:
+            sys.exit(f"bench_compare: bad --min-abs value {spec!r}")
 
     fresh = load_report(args.fresh)
     reference = load_report(args.reference)
@@ -122,6 +158,12 @@ def main():
                         "THROUGHPUT REGRESSION: "
                         f"{field} ratio {ratio:.3f} < {args.min_ratio}"
                     )
+        for field, floor in floors.items():
+            if field in fresh_row and fresh_row[field] < floor:
+                problems.append(
+                    "FLOOR VIOLATION: "
+                    f"{field} {fresh_row[field]:.0f} < {floor:.0f}"
+                )
         status = "; ".join(problems) if problems else "ok"
         if problems:
             failures += 1

@@ -227,6 +227,7 @@ void write_sim_config(JsonWriter& json, const sim::SimConfig& config) {
       .field("capture_ratio", config.capture_ratio)
       .field("sync_miss_prob", config.sync_miss_prob)
       .field("profiling", config.profiling)
+      .field("compact_time", config.compact_time)
       .end_object();
 }
 
@@ -274,6 +275,8 @@ void write_stage_profile(JsonWriter& json, const sim::StageProfile& profile) {
   json.begin_object()
       .field("enabled", profile.enabled)
       .field("slots", profile.slots)
+      .field("slots_skipped", profile.slots_skipped)
+      .field("gaps", profile.gaps)
       .field("wall_ns", profile.wall_ns)
       .field("slots_per_sec", profile.slots_per_sec())
       .field("total_stage_ns", profile.total_stage_ns());

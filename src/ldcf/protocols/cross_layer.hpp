@@ -52,6 +52,16 @@ class CrossLayerFlooding final : public DbaoFlooding {
                              std::span<const NodeId> active_receivers,
                              std::vector<TxIntent>& out) override;
 
+  /// Busy while any gamble window is open (the opportunistic layer may
+  /// draw its decision Bernoulli); outside the windows only the inherited
+  /// DBAO MAC traffic remains, indexed by the pending calendar.
+  [[nodiscard]] SlotIndex next_busy_slot(SlotIndex from) const override {
+    const double window = config_.min_remaining_periods *
+                          static_cast<double>(ctx().duty.period);
+    if (static_cast<double>(from) + window < gamble_deadline_) return from;
+    return DbaoFlooding::next_busy_slot(from);
+  }
+
  private:
   [[nodiscard]] bool gamble_worthwhile(NodeId receiver, PacketId packet,
                                        SlotIndex slot, double link_prr) const;
@@ -61,6 +71,12 @@ class CrossLayerFlooding final : public DbaoFlooding {
   topology::DelayDistribution delay_;
   std::vector<SlotIndex> generated_at_;
   std::vector<std::vector<std::vector<NodeId>>> gambled_;
+  /// max_r (mean_r - z * stddev_r) over on-tree receivers; upper-bounds
+  /// every packet's optimistic tree ETA offset.
+  double max_quantile_ = 0.0;
+  /// Exclusive busy horizon: no gamble_worthwhile can accept once
+  /// slot + min_remaining_periods * T >= this. Advanced per generation.
+  double gamble_deadline_ = 0.0;
 };
 
 }  // namespace ldcf::protocols

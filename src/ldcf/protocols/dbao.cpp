@@ -83,17 +83,17 @@ void DbaoFlooding::propose_transmissions(
     SlotIndex slot, std::span<const NodeId> /*active_receivers*/,
     std::vector<TxIntent>& out) {
   const auto& topo = *ctx().topo;
-  const auto n = static_cast<NodeId>(topo.num_nodes());
   deferred_.clear();
 
-  // Phase 1: every node picks its FCFS candidate for this slot.
+  // Phase 1: every node with pending work at this phase picks its FCFS
+  // candidate (ascending id order matches a full 0..N scan exactly).
   struct Candidate {
     TxIntent intent;
     double prr = 0.0;
     bool suppressed = false;
   };
   std::vector<Candidate> candidates;
-  for (NodeId node = 0; node < n; ++node) {
+  for (const NodeId node : pending_senders_at(slot)) {
     if (const auto intent = select_fcfs(node, slot)) {
       const double prr = topo.prr(intent->sender, intent->receiver).value();
       candidates.push_back(Candidate{*intent, prr, false});

@@ -54,6 +54,13 @@ class DbaoFlooding : public PendingSetProtocol {
   void on_overhear(NodeId listener, NodeId sender, PacketId packet,
                    SlotIndex slot) override;
 
+  /// All three proposal phases start from the FCFS pending candidates and
+  /// draw no RNG, so slots with no pending work at the phase are inert
+  /// (deferred_ is per-slot scratch, cleared at the next proposal).
+  [[nodiscard]] SlotIndex next_busy_slot(SlotIndex from) const override {
+    return pending_next_busy_slot(from);
+  }
+
  protected:
   /// DBAO approximates OPT's "receive from the best neighbor": only a
   /// receiver's few best (reachable) in-neighbors take responsibility for

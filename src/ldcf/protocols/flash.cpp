@@ -11,11 +11,13 @@ void FlashFlooding::initialize(const SimContext& ctx) {
   if (budget_per_packet_ == 0) budget_per_packet_ = 1;
   budget_.assign(ctx.topo->num_nodes(),
                  std::vector<std::uint64_t>(ctx.num_packets, 0));
+  busy_ = false;
 }
 
 void FlashFlooding::enqueue_forwarding(NodeId node, PacketId packet,
                                        NodeId /*from*/) {
   budget_[node][packet] = budget_per_packet_;
+  busy_ = true;
 }
 
 void FlashFlooding::propose_transmissions(

@@ -40,6 +40,13 @@ class FlashFlooding final : public PendingSetProtocol {
                              std::span<const NodeId> active_receivers,
                              std::vector<TxIntent>& out) override;
 
+  /// Before any node holds a packet the proposal loop draws nothing; from
+  /// the first copy onward the trickle re-advertisement draws its Bernoulli
+  /// every slot forever, so the protocol is busy at every slot after that.
+  [[nodiscard]] SlotIndex next_busy_slot(SlotIndex from) const override {
+    return busy_ ? from : kNeverSlot;
+  }
+
  protected:
   /// No unicast pending sets: everything is broadcast.
   void enqueue_forwarding(NodeId node, PacketId packet, NodeId from) override;
@@ -49,6 +56,9 @@ class FlashFlooding final : public PendingSetProtocol {
   std::uint64_t budget_per_packet_ = 0;
   /// Remaining broadcast budget per node per packet.
   std::vector<std::vector<std::uint64_t>> budget_;
+  /// Any copy exists anywhere (latched on the first enqueue, never clears:
+  /// the trickle keeps re-advertising held packets indefinitely).
+  bool busy_ = false;
 };
 
 }  // namespace ldcf::protocols

@@ -5,8 +5,9 @@ namespace ldcf::protocols {
 void NaiveFlooding::propose_transmissions(
     SlotIndex slot, std::span<const NodeId> /*active_receivers*/,
     std::vector<TxIntent>& out) {
-  const auto n = static_cast<NodeId>(ctx().topo->num_nodes());
-  for (NodeId node = 0; node < n; ++node) {
+  // Only nodes with pending work at this phase can emit an intent; iterating
+  // them in ascending id order matches a full 0..N scan exactly.
+  for (const NodeId node : pending_senders_at(slot)) {
     if (const auto intent = select_fcfs(node, slot)) {
       out.push_back(*intent);
     }

@@ -17,6 +17,12 @@ class NaiveFlooding final : public PendingSetProtocol {
   void propose_transmissions(SlotIndex slot,
                              std::span<const NodeId> active_receivers,
                              std::vector<TxIntent>& out) override;
+
+  /// Proposals come from the pending sets alone, with no RNG in the
+  /// proposal path, so the pending calendar is an exact busy index.
+  [[nodiscard]] SlotIndex next_busy_slot(SlotIndex from) const override {
+    return pending_next_busy_slot(from);
+  }
 };
 
 }  // namespace ldcf::protocols

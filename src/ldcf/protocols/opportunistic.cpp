@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "ldcf/common/error.hpp"
 
@@ -15,10 +16,21 @@ void OpportunisticFlooding::initialize(const SimContext& ctx) {
   generated_at_.assign(ctx.num_packets, kNeverSlot);
   gambled_.assign(ctx.topo->num_nodes(),
                   std::vector<std::vector<NodeId>>(ctx.num_packets));
+  max_quantile_ = -std::numeric_limits<double>::infinity();
+  for (NodeId r = 0; r < ctx.topo->num_nodes(); ++r) {
+    const double mean = delay_.mean[r];
+    if (std::isinf(mean)) continue;
+    max_quantile_ = std::max(
+        max_quantile_,
+        mean - config_.quantile_z * std::sqrt(delay_.variance[r]));
+  }
+  gamble_deadline_ = -std::numeric_limits<double>::infinity();
 }
 
 void OpportunisticFlooding::on_generate(PacketId packet, SlotIndex slot) {
   generated_at_[packet] = slot;
+  gamble_deadline_ = std::max(gamble_deadline_,
+                              static_cast<double>(slot) + max_quantile_);
   PendingSetProtocol::on_generate(packet, slot);
 }
 

@@ -47,6 +47,15 @@ class OpportunisticFlooding final : public PendingSetProtocol {
                              std::span<const NodeId> active_receivers,
                              std::vector<TxIntent>& out) override;
 
+  /// Busy while any gamble window is still open (the quantile test can
+  /// accept, so the Bernoulli decision draw may fire in any slot of the
+  /// window — a conservative horizon, never late); afterwards only the
+  /// pending tree traffic can act.
+  [[nodiscard]] SlotIndex next_busy_slot(SlotIndex from) const override {
+    if (static_cast<double>(from + 1) < gamble_deadline_) return from;
+    return pending_next_busy_slot(from);
+  }
+
   [[nodiscard]] const topology::Tree& energy_tree() const { return tree_; }
 
  protected:
@@ -68,6 +77,12 @@ class OpportunisticFlooding final : public PendingSetProtocol {
   /// node has already gambled on to avoid hammering the same neighbor every
   /// period.
   std::vector<std::vector<std::vector<NodeId>>> gambled_;
+  /// Largest optimistic tree-delay quantile over all on-tree receivers:
+  /// max_r (mean_r - z * stddev_r). Upper-bounds every per-receiver window.
+  double max_quantile_ = 0.0;
+  /// Exclusive busy horizon for gambling: no packet's quantile test can
+  /// accept once slot + 1 >= this. Advanced by each generation.
+  double gamble_deadline_ = 0.0;
 };
 
 }  // namespace ldcf::protocols

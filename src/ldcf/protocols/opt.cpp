@@ -10,6 +10,9 @@ void OptFlooding::initialize(const SimContext& ctx) {
   PendingSetProtocol::initialize(ctx);
   first_missing_.assign(ctx.topo->num_nodes(), 0);
   generated_ = 0;
+  held_.assign(ctx.topo->num_nodes(), 0);
+  satisfied_.assign(ctx.topo->num_nodes(), 1);  // vacuous: nothing generated.
+  unsat_cal_.reset(ctx.duty.period);
   in_neighbors_.assign(ctx.topo->num_nodes(), {});
   best_in_prr_.assign(ctx.topo->num_nodes(), 0.0);
   // The quality floor below must only count *upstream* senders — neighbors
@@ -31,6 +34,30 @@ void OptFlooding::initialize(const SimContext& ctx) {
 void OptFlooding::on_generate(PacketId packet, SlotIndex slot) {
   PendingSetProtocol::on_generate(packet, slot);
   generated_ = packet + 1;
+  ++held_[ctx().source];
+  // Every node that had caught up now misses the new packet (except the
+  // source, which just obtained it). O(N) per generation, amortized by the
+  // bounded packet count.
+  const auto num_nodes = static_cast<NodeId>(satisfied_.size());
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (satisfied_[n] == 0 || held_[n] == generated_) continue;
+    satisfied_[n] = 0;
+    for (const std::uint32_t phase : ctx().schedules->active_slots(n)) {
+      unsat_cal_.add(phase);
+    }
+  }
+}
+
+void OptFlooding::on_delivery(NodeId receiver, PacketId packet, NodeId from,
+                              SlotIndex slot) {
+  PendingSetProtocol::on_delivery(receiver, packet, from, slot);
+  ++held_[receiver];
+  if (satisfied_[receiver] == 0 && held_[receiver] == generated_) {
+    satisfied_[receiver] = 1;
+    for (const std::uint32_t phase : ctx().schedules->active_slots(receiver)) {
+      unsat_cal_.remove(phase);
+    }
+  }
 }
 
 void OptFlooding::enqueue_forwarding(NodeId /*node*/, PacketId /*packet*/,

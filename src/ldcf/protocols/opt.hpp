@@ -37,9 +37,20 @@ class OptFlooding final : public PendingSetProtocol {
 
   void initialize(const SimContext& ctx) override;
   void on_generate(PacketId packet, SlotIndex slot) override;
+  void on_delivery(NodeId receiver, PacketId packet, NodeId from,
+                   SlotIndex slot) override;
   void propose_transmissions(SlotIndex slot,
                              std::span<const NodeId> active_receivers,
                              std::vector<TxIntent>& out) override;
+
+  /// The oracle is receiver-driven and RNG-free: a slot can only produce
+  /// intents if some active receiver still misses a generated packet, so
+  /// the calendar of unsatisfied receivers' wake phases is a valid (and
+  /// merely conservative — a missing packet no neighbor holds yields a
+  /// visit without intents) busy index.
+  [[nodiscard]] SlotIndex next_busy_slot(SlotIndex from) const override {
+    return unsat_cal_.next_busy_slot(from);
+  }
 
  protected:
   /// OPT is receiver-driven; senders keep no pending queues.
@@ -61,6 +72,12 @@ class OptFlooding final : public PendingSetProtocol {
   std::vector<double> best_in_prr_;
   /// Packets generated so far (bounds the per-slot scan).
   PacketId generated_ = 0;
+  /// held_[v]: distinct generated packets v possesses (mirror of the
+  /// engine's fresh-delivery stream); v is satisfied iff held_ == generated_.
+  std::vector<PacketId> held_;
+  std::vector<std::uint8_t> satisfied_;
+  /// Wake phases of unsatisfied nodes — the compact-time busy index.
+  schedule::PhaseCalendar unsat_cal_;
 };
 
 }  // namespace ldcf::protocols

@@ -6,6 +6,10 @@
 
 namespace ldcf::protocols {
 
+namespace {
+constexpr std::uint32_t kNoPos = 0xffffffffu;
+}  // namespace
+
 void PendingSetProtocol::initialize(const SimContext& ctx) {
   LDCF_REQUIRE(ctx.topo != nullptr && ctx.schedules != nullptr,
                "incomplete simulation context");
@@ -16,25 +20,63 @@ void PendingSetProtocol::initialize(const SimContext& ctx) {
               0);
   buckets_.assign(ctx.topo->num_nodes(),
                   std::vector<std::vector<PendingEntry>>(ctx.duty.period));
+  pending_cal_.reset(ctx.duty.period);
+  senders_by_phase_.assign(ctx.duty.period, {});
+  sender_pos_.assign(
+      static_cast<std::size_t>(ctx.topo->num_nodes()) * ctx.duty.period,
+      kNoPos);
 }
 
 void PendingSetProtocol::pend(NodeId node, PacketId packet, NodeId neighbor) {
   const auto prr = ctx_->topo->prr(node, neighbor);
   LDCF_REQUIRE(prr.has_value(), "pend over a non-existent link");
-  auto& bucket = buckets_[node][ctx_->schedules->active_slot(neighbor)];
+  const std::uint32_t phase = ctx_->schedules->active_slot(neighbor);
+  auto& bucket = buckets_[node][phase];
   const bool already = std::any_of(
       bucket.begin(), bucket.end(), [&](const PendingEntry& e) {
         return e.packet == packet && e.neighbor == neighbor;
       });
-  if (!already) bucket.push_back(PendingEntry{packet, neighbor, *prr});
+  if (already) return;
+  bucket.push_back(PendingEntry{packet, neighbor, *prr});
+  pending_cal_.add(phase);
+  if (bucket.size() == 1) {
+    auto& members = senders_by_phase_[phase];
+    sender_pos_[static_cast<std::size_t>(node) * ctx_->duty.period + phase] =
+        static_cast<std::uint32_t>(members.size());
+    members.push_back(node);
+  }
 }
 
 void PendingSetProtocol::unpend(NodeId node, PacketId packet,
                                 NodeId neighbor) {
-  auto& bucket = buckets_[node][ctx_->schedules->active_slot(neighbor)];
-  std::erase_if(bucket, [&](const PendingEntry& e) {
+  const std::uint32_t phase = ctx_->schedules->active_slot(neighbor);
+  auto& bucket = buckets_[node][phase];
+  const auto erased = std::erase_if(bucket, [&](const PendingEntry& e) {
     return e.packet == packet && e.neighbor == neighbor;
   });
+  if (erased == 0) return;
+  pending_cal_.remove(phase, erased);
+  if (bucket.empty()) {
+    // Swap-remove the node from the phase's membership list.
+    auto& members = senders_by_phase_[phase];
+    const std::size_t slot_key =
+        static_cast<std::size_t>(node) * ctx_->duty.period + phase;
+    const std::uint32_t pos = sender_pos_[slot_key];
+    const NodeId last = members.back();
+    members[pos] = last;
+    sender_pos_[static_cast<std::size_t>(last) * ctx_->duty.period + phase] =
+        pos;
+    members.pop_back();
+    sender_pos_[slot_key] = kNoPos;
+  }
+}
+
+std::span<const NodeId> PendingSetProtocol::pending_senders_at(
+    SlotIndex slot) {
+  const auto& members = senders_by_phase_[slot % ctx_->duty.period];
+  sender_scratch_.assign(members.begin(), members.end());
+  std::sort(sender_scratch_.begin(), sender_scratch_.end());
+  return sender_scratch_;
 }
 
 const std::vector<PendingEntry>& PendingSetProtocol::pending_at_phase(

@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "ldcf/common/rng.hpp"
+#include "ldcf/schedule/calendar_queue.hpp"
 #include "ldcf/sim/flooding_protocol.hpp"
 
 namespace ldcf::protocols {
@@ -68,6 +70,23 @@ class PendingSetProtocol : public FloodingProtocol {
   [[nodiscard]] const std::vector<PendingEntry>& pending_at_phase(
       NodeId node, SlotIndex slot) const;
 
+  /// Nodes with at least one pending entry at phase t mod T, ascending by
+  /// id (sorted into a reused scratch buffer; the view is invalidated by
+  /// the next call or any pend/unpend). Proposal loops iterate this instead
+  /// of all N nodes: only these senders can produce an FCFS intent in the
+  /// slot, and ascending order preserves the intent order — and therefore
+  /// the channel RNG draw order — of a full 0..N scan.
+  [[nodiscard]] std::span<const NodeId> pending_senders_at(SlotIndex slot);
+
+  /// Earliest slot >= from whose phase holds any pending entry, kNeverSlot
+  /// when no entries are queued anywhere. Conservative next_busy_slot
+  /// building block for subclasses whose proposals are driven purely by the
+  /// pending sets (backoffs may make the hinted slot produce nothing — an
+  /// early hint is allowed, a late one is not).
+  [[nodiscard]] SlotIndex pending_next_busy_slot(SlotIndex from) const {
+    return pending_cal_.next_busy_slot(from);
+  }
+
   /// FCFS selection: the oldest pending packet among neighbors awake in this
   /// slot; ties broken toward the best link. nullopt if nothing is due.
   [[nodiscard]] std::optional<TxIntent> select_fcfs(NodeId node,
@@ -90,6 +109,14 @@ class PendingSetProtocol : public FloodingProtocol {
   std::uint32_t packet_stride_ = 0;
   // buckets_[node][phase] -> pending entries for neighbors at that phase.
   std::vector<std::vector<std::vector<PendingEntry>>> buckets_;
+  // Compact-time index maintained by pend/unpend: per-phase entry counts
+  // (feeds pending_next_busy_slot) and the membership lists + positions
+  // behind pending_senders_at. Lists are unordered for O(1) removal and
+  // sorted on demand into sender_scratch_.
+  schedule::PhaseCalendar pending_cal_;
+  std::vector<std::vector<NodeId>> senders_by_phase_;
+  std::vector<std::uint32_t> sender_pos_;  ///< [node * T + phase] or kNoPos.
+  std::vector<NodeId> sender_scratch_;
 };
 
 }  // namespace ldcf::protocols

@@ -99,6 +99,31 @@ SlotIndex ScheduleSet::next_active_slot(NodeId n, SlotIndex t) const {
   return t + (duty_.period - phase) + slots.front();
 }
 
+std::uint64_t ScheduleSet::active_count_in(NodeId n, SlotIndex from,
+                                           SlotIndex to) const {
+  LDCF_REQUIRE(n < num_nodes(), "node out of range");
+  if (to <= from) return 0;
+  // Count per active phase: occurrences of phase p in [from, to) equal
+  // floor((to - 1 - p') / T) - floor((from - 1 - p') / T) for any anchor,
+  // but the simplest exact form counts whole periods plus the partial tail.
+  const auto period = static_cast<SlotIndex>(duty_.period);
+  const SlotIndex span = to - from;
+  const SlotIndex whole = span / period;
+  const SlotIndex rem = span % period;
+  const auto start_phase = static_cast<std::uint32_t>(from % period);
+  std::uint64_t count =
+      whole * static_cast<std::uint64_t>(slots_[n].size());
+  for (const std::uint32_t p : slots_[n]) {
+    // Phase p falls in the residual window [from + whole*T, to) iff its
+    // offset from start_phase (mod T) is below rem.
+    const SlotIndex offset = p >= start_phase
+                                 ? p - start_phase
+                                 : period - start_phase + p;
+    if (offset < rem) ++count;
+  }
+  return count;
+}
+
 std::vector<NodeId> ScheduleSet::active_nodes(SlotIndex t) const {
   return nodes_by_slot_[t % duty_.period];
 }

@@ -64,6 +64,13 @@ class ScheduleSet {
   /// synchronization; the gap t' - t is the sleep latency.
   [[nodiscard]] SlotIndex next_active_slot(NodeId n, SlotIndex t) const;
 
+  /// Number of slots in [from, to) at which node `n` is active, computed in
+  /// closed form from the periodic schedule (O(k), no per-slot scan). This
+  /// is the fast-forward primitive: the engine's compact-time loop uses it
+  /// to settle per-slot accounting across a skipped gap exactly.
+  [[nodiscard]] std::uint64_t active_count_in(NodeId n, SlotIndex from,
+                                              SlotIndex to) const;
+
   /// Nodes active in slot `t`, ascending by id.
   [[nodiscard]] std::vector<NodeId> active_nodes(SlotIndex t) const;
 

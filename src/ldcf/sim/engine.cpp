@@ -179,6 +179,8 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
   uncovered_.reserve(config_.num_packets);
   covered_count_ = 0;
   generated_ = 0;
+  skipped_by_phase_.assign(config_.duty.period, 0);
+  frozen_credit_.assign(topo_.num_nodes(), 0);
 
   SimContext ctx;
   ctx.topo = &topo_;
@@ -190,10 +192,25 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
   protocol.initialize(ctx);
 
   profiler_.reset(config_.profiling);
+  // Compact time is purely an execution strategy: results are bit-identical
+  // to the dense loop (differential suite). Observers that enumerate every
+  // slot verbatim force the dense path for their run.
+  const bool use_compact =
+      config_.compact_time &&
+      (observer == nullptr || !observer->wants_every_slot());
   const std::uint64_t run_t0 = profiler_.now();
   SlotIndex t = 0;
-  for (; covered_count_ < config_.num_packets; ++t) {
-    if (t >= config_.max_slots) break;  // liveness guard; truncated=true.
+  while (covered_count_ < config_.num_packets && t < config_.max_slots) {
+    if (use_compact) {
+      StageProfiler::Scope timed(profiler_, Stage::kCompact);
+      const SlotIndex next = next_event_slot(t);
+      if (next > t) {
+        const SlotIndex stop = std::min(next, config_.max_slots);
+        fast_forward(t, stop);
+        t = stop;
+        continue;
+      }
+    }
     std::span<const NodeId> active;
     {
       StageProfiler::Scope timed(profiler_, Stage::kFaults);
@@ -229,13 +246,26 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
       StageProfiler::Scope timed(profiler_, Stage::kCoverage);
       stage_coverage(t);
     }
+    ++t;
   }
-  profiler_.add_wall(run_t0, t);
+  // "slots" means slots the staged loop actually executed: skipped slots
+  // are accounted separately, so executed + skipped == end_slot.
+  profiler_.add_wall(run_t0, t - profiler_.profile().slots_skipped);
 
   collector.metrics.end_slot = t;
   collector.metrics.all_covered = covered_count_ == config_.num_packets;
   collector.metrics.truncated =
       !collector.metrics.all_covered && t >= config_.max_slots;
+
+  // Settle the listening tally for fast-forwarded slots: in an idle slot
+  // every live active node would have listened (nobody transmits), so each
+  // node is credited with the skipped occurrences of its wake phases —
+  // frozen at the death slot for nodes that died. All-zero on the dense
+  // path.
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    collector.tally.active_slots[n] +=
+        dead_[n] != 0 ? frozen_credit_[n] : listen_credit(n);
+  }
 
   // Dormant slots: everything a node did not spend listening or sending.
   for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
@@ -265,6 +295,10 @@ void SimEngine::stage_faults(SlotIndex t) {
     const NodeId victim = deaths_[next_death_++].node;
     if (dead_[victim]) continue;
     dead_[victim] = 1;
+    // Freeze the compact-time listen credit at the death slot: every gap
+    // skipped so far happened while the victim was alive (fast-forward
+    // never crosses a pending death), later gaps must not count.
+    frozen_credit_[victim] = listen_credit(victim);
     --alive_sensors_;
     for (PacketId p = 0; p < config_.num_packets; ++p) {
       if (possession_.has(victim, p)) ++dead_holders_[p];
@@ -409,6 +443,61 @@ void SimEngine::stage_apply(SlotIndex t) {
     }
     protocol_->on_overhear(ev.listener, ev.sender, ev.packet, t);
   }
+}
+
+// The earliest slot >= t at which anything observable can happen: the next
+// packet generation, the next node death, or the protocol's own next busy
+// slot. Every other slot in between is provably inert — no intents, no RNG
+// draws, no possession or coverage change — because generation and faults
+// are the only engine-driven events and the protocol hint is contractually
+// never late. Link-burst edges need no entry here: prr_scale is recomputed
+// from the absolute slot index on every visited slot and only matters when
+// intents exist.
+SlotIndex SimEngine::next_event_slot(SlotIndex t) const {
+  SlotIndex next = kNeverSlot;
+  if (generated_ < config_.num_packets) {
+    next = std::min(next, static_cast<SlotIndex>(generated_) *
+                              config_.packet_spacing);
+  }
+  if (next_death_ < deaths_.size()) {
+    next = std::min(next, deaths_[next_death_].at_slot);
+  }
+  next = std::min(next, protocol_->next_busy_slot(t));
+  // Components are >= t by construction (generation and deaths are caught
+  // up through slot t-1); clamp so a misbehaving hint degrades to the dense
+  // path instead of rewinding time.
+  return std::max(next, t);
+}
+
+// Account for the idle gap [from, to): bump the per-phase skip counters
+// that back listen_credit, in closed form (O(min(gap, T))).
+void SimEngine::fast_forward(SlotIndex from, SlotIndex to) {
+  const auto period = static_cast<SlotIndex>(config_.duty.period);
+  const SlotIndex gap = to - from;
+  if (gap < period) {
+    for (SlotIndex s = from; s < to; ++s) {
+      ++skipped_by_phase_[s % period];
+    }
+  } else {
+    const SlotIndex whole = gap / period;
+    const SlotIndex rem = gap % period;
+    const SlotIndex start = from % period;
+    for (SlotIndex p = 0; p < period; ++p) {
+      const SlotIndex offset = p >= start ? p - start : period - start + p;
+      skipped_by_phase_[p] += whole + (offset < rem ? 1 : 0);
+    }
+  }
+  profiler_.add_skip(gap);
+}
+
+// Listening slots node n accrued across all gaps skipped so far: one per
+// skipped occurrence of each of its wake phases.
+std::uint64_t SimEngine::listen_credit(NodeId n) const {
+  std::uint64_t credit = 0;
+  for (const std::uint32_t phase : schedules_.active_slots(n)) {
+    credit += skipped_by_phase_[phase];
+  }
+  return credit;
 }
 
 // Coverage bookkeeping (possession counts are end-of-slot). Nodes that died

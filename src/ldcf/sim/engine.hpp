@@ -58,6 +58,15 @@ struct SimConfig {
   /// LDCF_PROFILING build option / environment variable; never affects
   /// simulation results.
   bool profiling = profiling_default();
+  /// Compact time scale (paper §III): fast-forward over slots where no
+  /// packet generation, fault, or protocol activity can occur, instead of
+  /// executing them one by one. Bit-identical to the dense loop — the
+  /// differential suite (tests/sim/test_compact_differential.cpp) proves it
+  /// across protocols, duties, perturbations and thread counts — so it
+  /// defaults on; set false to force the dense slot-by-slot loop. Observers
+  /// that demand every slot (wants_every_slot) override this to dense for
+  /// that run.
+  bool compact_time = true;
 };
 
 struct SimResult {
@@ -140,6 +149,16 @@ class SimEngine {
   void stage_apply(SlotIndex t);
   void stage_coverage(SlotIndex t);
 
+  // Compact-time core. next_event_slot: earliest slot >= t at which
+  // anything can happen (generation, fault, or protocol activity per
+  // next_busy_slot). fast_forward: settle per-slot accounting for the
+  // provably idle gap [from, to) in closed form — the only slot-indexed
+  // state accrued in an idle slot is the listen tally, folded into
+  // skipped_by_phase_ and applied per node at run end (listen_credit).
+  [[nodiscard]] SlotIndex next_event_slot(SlotIndex t) const;
+  void fast_forward(SlotIndex from, SlotIndex to);
+  [[nodiscard]] std::uint64_t listen_credit(NodeId n) const;
+
   /// Deliver one event to the collector and the optional observer. The
   /// lambda is generic so the collector call binds to the final concrete
   /// type (devirtualized and inlined); only an attached observer pays
@@ -178,6 +197,11 @@ class SimEngine {
   std::vector<PacketId> uncovered_;  ///< ascending; compacted as packets cover.
   std::uint64_t covered_count_ = 0;
   std::uint32_t generated_ = 0;
+  // Compact-time accounting: slots skipped so far per schedule phase, and
+  // each dead node's listen credit frozen at its death slot (skipped slots
+  // after death must not count as listening).
+  std::vector<std::uint64_t> skipped_by_phase_;
+  std::vector<std::uint64_t> frozen_credit_;
 };
 
 }  // namespace ldcf::sim

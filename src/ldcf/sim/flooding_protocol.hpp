@@ -98,6 +98,21 @@ class FloodingProtocol {
                                      std::span<const NodeId> active_receivers,
                                      std::vector<TxIntent>& out) = 0;
 
+  /// Compact-time hint: the earliest slot >= `from` at which this protocol
+  /// might do *anything observable* in propose_transmissions — emit an
+  /// intent, draw from its RNG substream, or mutate state whose value
+  /// depends on the slot index. The engine skips the slots in between
+  /// without calling propose_transmissions at all, so the contract is
+  /// strict: the hint may be early (a busy slot that produces nothing is
+  /// merely a wasted visit) but must never be late — a late hint silently
+  /// desynchronizes the RNG stream against the dense engine. Return
+  /// kNeverSlot for "idle until external input" (the engine still wakes the
+  /// protocol for generations and faults). The default claims every slot,
+  /// which disables skipping and is always correct.
+  [[nodiscard]] virtual SlotIndex next_busy_slot(SlotIndex from) const {
+    return from;
+  }
+
   /// Whether the engine should model overhearing for this protocol.
   [[nodiscard]] virtual bool wants_overhearing() const { return false; }
 

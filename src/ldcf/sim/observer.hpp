@@ -61,6 +61,15 @@ class SimObserver {
 
   /// The run finished; `result` is the final, fully assembled result.
   virtual void on_run_end(const SimResult& /*result*/) {}
+
+  /// Declare that this observer needs on_slot_begin for *every* slot,
+  /// including provably idle ones. The compact-time engine elides idle
+  /// slots entirely (no hooks fire for them); an observer whose output
+  /// enumerates slots verbatim (e.g. TraceObserver with
+  /// include_idle_slots) must return true, which forces the engine onto
+  /// the dense path for that run. Results are bit-identical either way —
+  /// this only trades speed for slot-by-slot visibility.
+  [[nodiscard]] virtual bool wants_every_slot() const { return false; }
 };
 
 /// Fans the engine's single observer slot out to several observers, called
@@ -101,6 +110,12 @@ class MultiObserver final : public SimObserver {
   }
   void on_run_end(const SimResult& result) override {
     for (SimObserver* o : observers_) o->on_run_end(result);
+  }
+  [[nodiscard]] bool wants_every_slot() const override {
+    for (const SimObserver* o : observers_) {
+      if (o->wants_every_slot()) return true;
+    }
+    return false;
   }
 
  private:

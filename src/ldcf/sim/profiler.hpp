@@ -1,8 +1,9 @@
 // Engine stage profiler: where do the slot-loop cycles go?
 //
-// SimEngine::run times each of its eight named stages (faults incl. the
+// SimEngine::run times each of its nine named stages (faults incl. the
 // active-set scan, generation, intents, sync-miss, channel, energy, apply,
-// coverage) behind a runtime gate. Disabled — the default — every probe is
+// coverage, plus the compact-time next-event/fast-forward step) behind a
+// runtime gate. Disabled — the default — every probe is
 // a single well-predicted branch, so the hot loop stays at its benched
 // throughput; enabled, each stage pays two steady_clock reads per slot.
 //
@@ -32,13 +33,14 @@ enum class Stage : std::uint8_t {
   kEnergy,
   kApply,
   kCoverage,
+  kCompact,  ///< compact-time next-event query + fast-forward.
 };
 
-inline constexpr std::size_t kNumStages = 8;
+inline constexpr std::size_t kNumStages = 9;
 
 inline constexpr std::array<std::string_view, kNumStages> kStageNames = {
-    "faults",  "generation", "intents", "sync_miss",
-    "channel", "energy",     "apply",   "coverage"};
+    "faults",  "generation", "intents", "sync_miss", "channel",
+    "energy",  "apply",      "coverage", "compact"};
 
 /// Aggregated timings for one run (all zero when profiling was disabled).
 /// Summable across runs: ns, slots and wall_ns all add.
@@ -47,6 +49,11 @@ struct StageProfile {
   std::array<std::uint64_t, kNumStages> stage_ns{};  ///< per-stage total.
   std::uint64_t wall_ns = 0;  ///< slot loop wall time, stages + dispatch.
   std::uint64_t slots = 0;    ///< slots executed.
+  // Compact-time counters. Unlike the timings these are counted
+  // unconditionally (they cost one add per gap, not a clock read), so they
+  // report skipping behavior even with profiling off.
+  std::uint64_t slots_skipped = 0;  ///< idle slots elided by fast-forward.
+  std::uint64_t gaps = 0;           ///< number of fast-forward jumps.
 
   [[nodiscard]] std::uint64_t total_stage_ns() const {
     std::uint64_t total = 0;
@@ -77,6 +84,8 @@ struct StageProfile {
     }
     wall_ns += other.wall_ns;
     slots += other.slots;
+    slots_skipped += other.slots_skipped;
+    gaps += other.gaps;
   }
 };
 
@@ -117,6 +126,13 @@ class StageProfiler {
       profile_.wall_ns += clock_ns() - t0;
       profile_.slots += slots;
     }
+  }
+
+  /// Record one fast-forward jump over `skipped` idle slots. Ungated: the
+  /// counters are part of the run's factual record, not a timing.
+  void add_skip(std::uint64_t skipped) {
+    profile_.slots_skipped += skipped;
+    ++profile_.gaps;
   }
 
   [[nodiscard]] const StageProfile& profile() const { return profile_; }

@@ -51,6 +51,13 @@ class TraceObserver final : public SimObserver {
   void on_packet_covered(PacketId packet, SlotIndex covered_at) override;
   void on_run_end(const SimResult& result) override;
 
+  /// A verbatim slot-by-slot trace cannot survive idle-slot elision, so it
+  /// pins the engine to the dense path; the default elided trace is
+  /// invariant under compact time and imposes nothing.
+  [[nodiscard]] bool wants_every_slot() const override {
+    return include_idle_slots_;
+  }
+
  private:
   void flush_pending_slot();
 

@@ -112,13 +112,17 @@ TEST(EngineProfiling, ResultsAreBitIdenticalWithProfilingOnAndOff) {
     EXPECT_EQ(off.metrics.channel.delivered, on.metrics.channel.delivered);
     EXPECT_EQ(off.energy.total, on.energy.total);
 
-    // Off: the profile stays all-zero. On: it covers every slot and the
-    // stage sum is bounded by the loop wall time.
+    // Off: the timings stay all-zero (the skip counters are ungated — they
+    // are facts about the run, not timings). On: executed plus skipped
+    // slots account for the whole run, and the stage sum is bounded by the
+    // loop wall time.
     EXPECT_FALSE(off.profile.enabled);
     EXPECT_EQ(off.profile.slots, 0u);
     EXPECT_EQ(off.profile.total_stage_ns(), 0u);
+    EXPECT_EQ(off.profile.slots_skipped, on.profile.slots_skipped);
     EXPECT_TRUE(on.profile.enabled);
-    EXPECT_EQ(on.profile.slots, on.metrics.end_slot);
+    EXPECT_EQ(on.profile.slots + on.profile.slots_skipped,
+              on.metrics.end_slot);
     EXPECT_GT(on.profile.total_stage_ns(), 0u);
     EXPECT_GE(on.profile.wall_ns, on.profile.total_stage_ns());
     double share_sum = 0.0;
