@@ -1,7 +1,10 @@
 // Engine throughput microbenchmark: slots simulated per second on a
-// 256-node clustered topology, per protocol. This is the baseline hot-path
-// number future engine PRs are measured against — the trace-driven figure
-// benches vary protocol behaviour, this one pins raw slot-loop cost.
+// 256-node clustered topology, per protocol, plus a saturated
+// channel-kernel segment (Bernoulli draws per second: the sequential stream
+// against the counter-based keyed kernel at 1 and 4 worker threads). These
+// are the baseline hot-path numbers future engine PRs are measured against —
+// the trace-driven figure benches vary protocol behaviour, this one pins
+// raw slot-loop and draw-kernel cost.
 //
 // Env knobs: LDCF_BENCH_PACKETS (default 60), LDCF_BENCH_REPS (default 3,
 // best-of), LDCF_ENGINE_DUTY_PCT (default 5), LDCF_BENCH_REPORT (JSON
@@ -17,6 +20,7 @@
 #include "ldcf/analysis/table.hpp"
 #include "ldcf/obs/report.hpp"
 #include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/channel.hpp"
 #include "ldcf/sim/simulator.hpp"
 #include "ldcf/topology/generators.hpp"
 
@@ -30,6 +34,74 @@ struct BenchRow {
   double slots_per_sec = 0.0;
 };
 
+// One channel-kernel measurement: `draws` realized Bernoulli draws across
+// the segment's slots (deterministic — draw *counts* do not depend on
+// outcomes), timed as draws/second. The label doubles as the report row key.
+struct ChannelRow {
+  std::string label;
+  std::uint64_t draws = 0;
+  double best_seconds = 0.0;
+  double mdraws_per_sec = 0.0;
+};
+
+// Saturated channel workload: kChannelHubs broadcasting hubs, each with
+// kChannelLeaves private listeners, so every slot realizes exactly
+// hubs * leaves overhear draws with no collision noise.
+constexpr std::uint32_t kChannelHubs = 32;
+constexpr std::uint32_t kChannelLeaves = 511;
+constexpr std::uint32_t kChannelSlots = 200;
+
+ldcf::topology::Topology make_star_forest() {
+  using namespace ldcf;
+  const std::uint32_t nodes = kChannelHubs * (kChannelLeaves + 1);
+  topology::Topology topo{std::vector<topology::Point2D>(nodes)};
+  for (std::uint32_t s = 0; s < kChannelHubs; ++s) {
+    const NodeId hub = s * (kChannelLeaves + 1);
+    for (std::uint32_t l = 1; l <= kChannelLeaves; ++l) {
+      topo.add_symmetric_link(hub, hub + l, 0.5);
+    }
+  }
+  return topo;
+}
+
+ChannelRow run_channel_bench(const std::string& label,
+                             const ldcf::topology::Topology& topo,
+                             const ldcf::sim::ChannelConfig& config,
+                             std::uint32_t reps) {
+  using namespace ldcf;
+  using Clock = std::chrono::steady_clock;
+  std::vector<sim::TxIntent> intents;
+  intents.reserve(kChannelHubs);
+  for (std::uint32_t s = 0; s < kChannelHubs; ++s) {
+    intents.push_back(sim::TxIntent{s * (kChannelLeaves + 1), kNoNode, s % 4});
+  }
+  std::vector<NodeId> active;
+  active.reserve(topo.num_nodes());
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) active.push_back(n);
+
+  sim::Channel channel(topo);
+  ChannelRow row;
+  row.label = label;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    Rng rng(7);  // fresh per rep so the sequential stream repeats exactly.
+    std::uint64_t draws = 0;
+    sim::SlotResolution out;
+    const auto start = Clock::now();
+    for (SlotIndex slot = 0; slot < kChannelSlots; ++slot) {
+      channel.resolve(intents, active, slot, config, rng, out);
+      draws += channel.last_draw_count();
+    }
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    row.draws = draws;
+    if (rep == 0 || elapsed.count() < row.best_seconds) {
+      row.best_seconds = elapsed.count();
+    }
+  }
+  row.mdraws_per_sec =
+      static_cast<double>(row.draws) / row.best_seconds / 1e6;
+  return row;
+}
+
 /// Machine-readable twin of the printed table, via the obs report writer:
 /// provenance plus one result object per protocol, so perf trajectories
 /// can be diffed across commits without parsing the human table.
@@ -37,7 +109,8 @@ void write_bench_report(const std::string& path,
                         const ldcf::topology::Topology& topo,
                         const ldcf::sim::SimConfig& config, double duty_pct,
                         std::uint32_t reps,
-                        const std::vector<BenchRow>& rows) {
+                        const std::vector<BenchRow>& rows,
+                        const std::vector<ChannelRow>& channel_rows) {
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     std::cerr << "bench_engine: cannot open report file " << path << "\n";
@@ -56,6 +129,9 @@ void write_bench_report(const std::string& path,
       .field("duty_percent", duty_pct)
       .field("seed", config.seed)
       .field("best_of", reps)
+      .field("channel_hubs", kChannelHubs)
+      .field("channel_leaves", kChannelLeaves)
+      .field("channel_slots", kChannelSlots)
       .end_object();
   json.key("topology");
   ldcf::obs::write_topology_summary(json, topo);
@@ -67,6 +143,14 @@ void write_bench_report(const std::string& path,
         .field("attempts", row.attempts)
         .field("best_seconds", row.best_seconds)
         .field("slots_per_sec", row.slots_per_sec)
+        .end_object();
+  }
+  for (const ChannelRow& row : channel_rows) {
+    json.begin_object()
+        .field("protocol", row.label)
+        .field("draws", row.draws)
+        .field("best_seconds", row.best_seconds)
+        .field("channel_mdraws_per_sec", row.mdraws_per_sec)
         .end_object();
   }
   json.end_array().end_object();
@@ -135,12 +219,47 @@ int main() {
     }
   }
   table.print(std::cout);
+
+  // Channel-kernel segment: the same saturated star-forest slot resolved
+  // under each draw realization. Draw counts are identical by construction
+  // (counts never depend on outcomes); only the realization and the
+  // threading differ.
+  const topology::Topology star = make_star_forest();
+  sim::ChannelConfig channel_config;
+  channel_config.collisions = true;
+  channel_config.overhearing = true;
+  channel_config.keyed_seed = 0xb5eedULL;
+  std::vector<ChannelRow> channel_rows;
+  channel_config.rng_mode = sim::ChannelRngMode::kSequential;
+  channel_config.threads = 1;
+  channel_rows.push_back(
+      run_channel_bench("channel_seq", star, channel_config, reps));
+  channel_config.rng_mode = sim::ChannelRngMode::kSlotKeyed;
+  channel_rows.push_back(
+      run_channel_bench("channel_keyed_t1", star, channel_config, reps));
+  channel_config.threads = 4;
+  channel_rows.push_back(
+      run_channel_bench("channel_keyed_t4", star, channel_config, reps));
+
+  std::cout << "\n=== Channel kernel (" << kChannelHubs << " hubs x "
+            << kChannelLeaves << " listeners, " << kChannelSlots
+            << " slots, best of " << reps << ") ===\n";
+  Table channel_table({"mode", "draws", "ms", "Mdraws/sec"});
+  for (const ChannelRow& row : channel_rows) {
+    channel_table.add_row({row.label, Table::num(row.draws),
+                           Table::num(1e3 * row.best_seconds, 1),
+                           Table::num(row.mdraws_per_sec, 1)});
+  }
+  channel_table.print(std::cout);
+
   std::cout << "\nShape check: slots/sec is the hot-path budget; compare "
                "against EXPERIMENTS.md \"Engine throughput\" before/after "
-               "touching sim/.\n";
+               "touching sim/. channel_keyed_t4 should beat channel_keyed_t1 "
+               "on a multicore host (the keyed draws commute).\n";
   const std::string report = bench::report_path("engine");
   if (!report.empty()) {
-    write_bench_report(report, topo, config, duty_pct, reps, rows);
+    write_bench_report(report, topo, config, duty_pct, reps, rows,
+                       channel_rows);
   }
   return 0;
 }

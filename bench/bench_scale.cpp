@@ -1,6 +1,7 @@
 // Large-N scaling benchmark: topology construction throughput and engine
 // slot throughput at 1k / 10k / 100k nodes (clustered GreenOrbs density,
-// order-independent pair-keyed link RNG). Construction must scale near
+// order-independent pair-keyed link RNG and slot-keyed channel draws —
+// the same configuration run_scale_sweep uses). Construction must scale near
 // linearly in N — the spatial hash grid replaced the historical all-pairs
 // O(N^2) loop precisely to make the 100k row of this bench finishable.
 // Two sim segments per size, each through both engine modes — compact time
@@ -120,6 +121,10 @@ void write_bench_report(const std::string& path,
       .field("interactive_spacing",
              static_cast<std::uint64_t>(interactive_spacing()))
       .field("seed", config.seed)
+      .field("channel_rng",
+             config.channel_rng == ldcf::sim::ChannelRngMode::kSlotKeyed
+                 ? "slot_keyed"
+                 : "sequential")
       .field("best_of", reps)
       .end_object();
   json.key("results").begin_array();
@@ -171,6 +176,9 @@ int main() {
       bench::packet_count() < 100 ? bench::packet_count() : 2;
   config.seed = bench::kRunSeed;
   config.max_slots = max_slots();
+  // The large-N configuration mirrors run_scale_sweep: pair-keyed links
+  // (below) and slot-keyed channel draws, both order-independent.
+  config.channel_rng = sim::ChannelRngMode::kSlotKeyed;
 
   std::cout << "=== Topology + engine scaling (dbao, M = "
             << config.num_packets << ", duty "

@@ -13,6 +13,13 @@
 //                        clustered, GreenOrbs density scaled to N)
 //     --keyed-links      order-independent per-pair link RNG (the large-N
 //                        path; default is the sequential legacy stream)
+//     --channel-rng seq|keyed  channel draw realization (default seq, the
+//                        golden-pinned sequential stream; keyed switches to
+//                        counter-based slot-keyed draws — order-independent,
+//                        statistically equivalent, enables --channel-threads)
+//     --channel-threads N  worker threads for the keyed draw phase
+//                        (0 = all cores; ignored under seq; bit-identical
+//                        for every value)
 //     --topo-seed S      generator seed (default 1)
 //     --duty PCT         duty cycle percent (default 5)
 //     --source NODE      flooding source node (default 0)
@@ -201,6 +208,17 @@ int run_cli(int argc, char** argv) {
       threads = static_cast<std::uint32_t>(parse_u64(next()));
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--channel-rng") {
+      const std::string mode = next();
+      if (mode == "seq") {
+        config.channel_rng = sim::ChannelRngMode::kSequential;
+      } else if (mode == "keyed") {
+        config.channel_rng = sim::ChannelRngMode::kSlotKeyed;
+      } else {
+        usage_error("--channel-rng wants seq|keyed");
+      }
+    } else if (arg == "--channel-threads") {
+      config.channel_threads = static_cast<std::uint32_t>(parse_u64(next()));
     } else if (arg == "--compact-time") {
       const std::string mode = next();
       if (mode == "on") {

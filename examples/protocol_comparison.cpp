@@ -3,11 +3,16 @@
 // trace-driven workflow: the topology is written to a trace file and loaded
 // back, exactly as a real measurement trace would be.
 //
-//   ./protocol_comparison [--report PATH] [duty_percent] [num_packets]
+//   ./protocol_comparison [--report PATH] [--channel-rng seq|keyed]
+//                         [--channel-threads N] [duty_percent] [num_packets]
 //                         [seed] [threads] [event_trace_path]
 //
 // All protocols run as one parallel sweep (threads: 0 = all cores,
-// 1 = serial); the numbers are bit-identical at any thread count. When
+// 1 = serial); the numbers are bit-identical at any thread count.
+// --channel-rng keyed switches the channel to counter-based slot-keyed
+// draws (order-independent, statistically equivalent to the default
+// sequential stream) and --channel-threads fans that draw phase out
+// inside each trial (0 = all cores; results identical for every value). When
 // event_trace_path is given, every trial writes a JSONL event trace there
 // with a per-trial "-<protocol>-T<period>-r<rep>" suffix. --report writes
 // a provenance-stamped ldcf.sweep_report.v1 JSON document with per-protocol
@@ -28,8 +33,10 @@
 int main(int argc, char** argv) {
   using namespace ldcf;
 
-  // Peel off --report PATH, leaving the positional args in place.
+  // Peel off the --flag options, leaving the positional args in place.
   std::string report_path;
+  sim::ChannelRngMode channel_rng = sim::ChannelRngMode::kSequential;
+  std::uint32_t channel_threads = 1;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--report") == 0) {
@@ -38,6 +45,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--channel-rng") == 0) {
+      const std::string mode = i + 1 < argc ? argv[++i] : "";
+      if (mode == "seq") {
+        channel_rng = sim::ChannelRngMode::kSequential;
+      } else if (mode == "keyed") {
+        channel_rng = sim::ChannelRngMode::kSlotKeyed;
+      } else {
+        std::cerr << "protocol_comparison: --channel-rng wants seq|keyed\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--channel-threads") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "protocol_comparison: --channel-threads needs a count\n";
+        return 2;
+      }
+      channel_threads = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else {
       positional.push_back(argv[i]);
     }
@@ -66,6 +89,8 @@ int main(int argc, char** argv) {
   analysis::ExperimentConfig config;
   config.base.num_packets = packets;
   config.base.seed = seed;
+  config.base.channel_rng = channel_rng;
+  config.base.channel_threads = channel_threads;
   config.threads = threads;
   config.trace_path = event_trace_path;
   config.report_path = report_path;

@@ -32,6 +32,7 @@ import sys
 EXACT_FIELDS = (
     "slots",
     "attempts",
+    "draws",
     "links",
     "sim_slots",
     "slots_skipped",
@@ -44,6 +45,7 @@ RATE_FIELDS = (
     "slots_per_sec_dense",
     "interactive_slots_per_sec",
     "interactive_slots_per_sec_dense",
+    "channel_mdraws_per_sec",
 )
 
 

@@ -307,6 +307,11 @@ std::vector<ScalePoint> run_scale_sweep(
     ExperimentConfig per_size = config;
     per_size.report_path.clear();
     per_size.trace_path.clear();
+    // Scale sweeps always run the channel keyed: like the pair-keyed link
+    // RNG above, counter-based draws make large-N realizations independent
+    // of evaluation order, and they let channel_threads fan the draw phase
+    // out. Nothing pins sequential realizations at these sizes.
+    per_size.base.channel_rng = sim::ChannelRngMode::kSlotKeyed;
     sp.point = run_point(topo, protocol, DutyCycle::from_ratio(duty_ratio),
                          per_size);
     points.push_back(std::move(sp));

@@ -162,7 +162,11 @@ using TopologyFactory = std::function<topology::Topology(
 /// Run `protocol` at `duty_ratio` across network sizes. Sizes run in
 /// sequence (each one's repetitions fan out over config.threads);
 /// config.report_path and trace_path are ignored per size — one sweep
-/// produces one result set the caller renders.
+/// produces one result set the caller renders. The channel always runs in
+/// ChannelRngMode::kSlotKeyed here (config.base.channel_rng is overridden),
+/// matching the pair-keyed link RNG of the default factory: large-N sweeps
+/// care about order-independence and channel_threads fan-out, and no golden
+/// pins sequential realizations at these sizes.
 [[nodiscard]] std::vector<ScalePoint> run_scale_sweep(
     const std::vector<std::uint32_t>& sensor_counts,
     const std::string& protocol, double duty_ratio,

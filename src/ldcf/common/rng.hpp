@@ -49,6 +49,35 @@ class SplitMix64 {
   return mix64(mix64(base + 0x9e3779b97f4a7c15ULL) ^ key);
 }
 
+/// Counter-based key for one channel loss draw: mixed from (channel seed,
+/// slot, unordered link pair, packet, draw kind). Extends the
+/// `pair_stream_seed` discipline to per-draw granularity so a Bernoulli
+/// realization is a pure function of *what* is being drawn, never of the
+/// order draws happen to be evaluated in. `kind` separates the unicast-loss
+/// and overhear-loss draws on the same link/slot/packet (DESIGN.md §11).
+[[nodiscard]] constexpr std::uint64_t channel_draw_seed(
+    std::uint64_t base, std::uint64_t slot, std::uint32_t a, std::uint32_t b,
+    std::uint32_t packet, std::uint32_t kind) noexcept {
+  const std::uint64_t lo = a < b ? a : b;
+  const std::uint64_t hi = a < b ? b : a;
+  const std::uint64_t pair_key = (lo << 32) | hi;
+  const std::uint64_t draw_key =
+      (static_cast<std::uint64_t>(kind) << 32) | packet;
+  // Chained mix64 rounds: each input is folded in after a full avalanche of
+  // the previous ones, so distinct (slot, pair, packet, kind) tuples cannot
+  // alias by XOR cancellation.
+  std::uint64_t k = mix64(base + 0x9e3779b97f4a7c15ULL);
+  k = mix64(k ^ slot);
+  k = mix64(k ^ pair_key);
+  return mix64(k ^ draw_key);
+}
+
+/// Map a 64-bit draw key to a uniform double in [0, 1) with the same
+/// 53-bit-mantissa construction as Rng::uniform().
+[[nodiscard]] constexpr double keyed_unit(std::uint64_t key) noexcept {
+  return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
+
 /// Xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
 class Rng {
  public:

@@ -228,6 +228,11 @@ void write_sim_config(JsonWriter& json, const sim::SimConfig& config) {
       .field("sync_miss_prob", config.sync_miss_prob)
       .field("profiling", config.profiling)
       .field("compact_time", config.compact_time)
+      .field("channel_rng",
+             config.channel_rng == sim::ChannelRngMode::kSlotKeyed
+                 ? "slot_keyed"
+                 : "sequential")
+      .field("channel_threads", config.channel_threads)
       .end_object();
 }
 

@@ -164,6 +164,12 @@ void DbaoFlooding::on_overhear(NodeId listener, NodeId sender, PacketId packet,
                                SlotIndex /*slot*/) {
   // The listener now knows the transmitter holds the packet: no point
   // forwarding it back.
+  //
+  // Ordering audit (flooding_protocol.hpp): each call touches only
+  // (listener, packet, sender)'s pending entry, and distinct overhears in a
+  // slot touch distinct listeners, so this is insensitive to the ascending
+  // listener order the channel guarantees — and identical under both
+  // channel RNG modes.
   unpend(listener, packet, sender);
 }
 

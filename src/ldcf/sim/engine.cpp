@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "ldcf/common/error.hpp"
 
@@ -17,6 +18,8 @@ const SimConfig& validate_config(const topology::Topology& topo,
                    config.coverage_fraction <= 1.0,
                "coverage fraction must be in (0, 1]");
   LDCF_REQUIRE(config.source < topo.num_nodes(), "source out of range");
+  LDCF_REQUIRE(config.capture_ratio >= 0.0,
+               "capture ratio must be non-negative (0 disables capture)");
   for (const NodeFailure& f : config.perturbations.node_failures) {
     LDCF_REQUIRE(f.node != config.source && f.node < topo.num_nodes(),
                  "cannot kill the source or an out-of-range node");
@@ -27,6 +30,9 @@ const SimConfig& validate_config(const topology::Topology& topo,
     LDCF_REQUIRE(b.duration <= b.period,
                  "link burst duration must not exceed the period (use "
                  "duration == period for a permanent burst)");
+    LDCF_REQUIRE(b.prr_scale >= 0.0 && b.prr_scale <= 1.0,
+                 "link burst prr_scale must be in [0, 1] (a burst degrades "
+                 "links, it cannot amplify them)");
   }
   return config;
 }
@@ -164,11 +170,19 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
   // Per-run state: everything derives from the seeds captured at
   // construction, so repeated runs replay the identical simulation.
   channel_rng_ = Rng(channel_seed_);
-  channel_config_ = ChannelConfig{
-      /*collisions=*/!protocol.collision_free_oracle(),
-      /*overhearing=*/protocol.wants_overhearing(),
-      /*prr_scale=*/1.0,
-      /*capture_ratio=*/config_.capture_ratio};
+  channel_config_ = ChannelConfig{};
+  channel_config_.collisions = !protocol.collision_free_oracle();
+  channel_config_.overhearing = protocol.wants_overhearing();
+  channel_config_.prr_scale = 1.0;
+  channel_config_.capture_ratio = config_.capture_ratio;
+  channel_config_.rng_mode = config_.channel_rng;
+  // Keyed draws derive from the same channel substream seed the sequential
+  // stream uses, so either mode is a pure function of SimConfig::seed.
+  channel_config_.keyed_seed = channel_seed_;
+  channel_config_.threads =
+      config_.channel_threads == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : config_.channel_threads;
   possession_.reset();
   dead_.assign(topo_.num_nodes(), 0);
   next_death_ = 0;
@@ -230,10 +244,10 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
       StageProfiler::Scope timed(profiler_, Stage::kSyncMiss);
       stage_sync_miss();
     }
-    {
-      StageProfiler::Scope timed(profiler_, Stage::kChannel);
-      stage_channel(active);
-    }
+    // Not wrapped in a kChannel scope: the kernel times its own
+    // gather/draw/apply phases, and stage_channel scopes the residual, so
+    // the stage buckets stay mutually exclusive (shares sum to 1).
+    stage_channel(t, active);
     {
       StageProfiler::Scope timed(profiler_, Stage::kEnergy);
       stage_energy(active);
@@ -369,9 +383,12 @@ void SimEngine::stage_sync_miss() {
 
 // Channel resolution, then append the results the channel never saw: sync
 // misses first, then ghost unicasts (both count as attempts downstream).
-void SimEngine::stage_channel(std::span<const NodeId> active) {
-  channel_.resolve(ws_.intents, active, channel_config_, channel_rng_,
-                   ws_.resolution);
+// The kernel phases are timed inside resolve; the kChannel bucket keeps
+// only this engine-side residual.
+void SimEngine::stage_channel(SlotIndex t, std::span<const NodeId> active) {
+  channel_.resolve(ws_.intents, active, t, channel_config_, channel_rng_,
+                   ws_.resolution, &profiler_);
+  StageProfiler::Scope timed(profiler_, Stage::kChannel);
   for (const TxIntent& intent : ws_.sync_missed) {
     TxResult missed;
     missed.intent = intent;
@@ -409,7 +426,11 @@ void SimEngine::stage_energy(std::span<const NodeId> active) {
 
 // Apply results: settle possession, stream events to the observers, and
 // feed the protocol its link-layer view (on_delivery before on_outcome for
-// a fresh copy, exactly as before).
+// a fresh copy, exactly as before). The iteration order here is the
+// protocol-facing ordering contract (flooding_protocol.hpp): all unicast
+// results in intent order, then all overhears in ascending listener id —
+// the channel's apply phase emits both sequences in that fixed order
+// regardless of ChannelRngMode or channel_threads.
 void SimEngine::stage_apply(SlotIndex t) {
   for (const TxResult& raw : ws_.resolution.results) {
     TxResult result = raw;

@@ -54,6 +54,15 @@ struct SimConfig {
   /// receiver's wakeup because the sender's schedule estimate drifted
   /// (paper §III-B assumes 0; [26][27] motivate small non-zero values).
   double sync_miss_prob = 0.0;
+  /// How channel loss draws are realized (see ChannelRngMode). The default
+  /// kSequential preserves every golden fingerprint; kSlotKeyed makes the
+  /// draws order-independent (and therefore threadable) at the cost of a
+  /// different — statistically equivalent — realization.
+  ChannelRngMode channel_rng = ChannelRngMode::kSequential;
+  /// Worker threads for the channel draw phase: 1 = serial, 0 = one per
+  /// hardware thread. Only effective under kSlotKeyed (sequential draws
+  /// are inherently ordered); results are bit-identical for every value.
+  std::uint32_t channel_threads = 1;
   /// Time the engine's stages (see profiler.hpp). Default from the
   /// LDCF_PROFILING build option / environment variable; never affects
   /// simulation results.
@@ -144,7 +153,7 @@ class SimEngine {
   void stage_generation(SlotIndex t);
   void stage_intents(SlotIndex t, std::span<const NodeId> active);
   void stage_sync_miss();
-  void stage_channel(std::span<const NodeId> active);
+  void stage_channel(SlotIndex t, std::span<const NodeId> active);
   void stage_energy(std::span<const NodeId> active);
   void stage_apply(SlotIndex t);
   void stage_coverage(SlotIndex t);

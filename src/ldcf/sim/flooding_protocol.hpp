@@ -84,6 +84,14 @@ class FloodingProtocol {
   /// Node `listener` decoded a transmission addressed to someone else and
   /// thereby learned that `sender` possesses `packet` (and obtained the
   /// packet itself; the engine reports that via on_delivery separately).
+  ///
+  /// Ordering contract (holds in both ChannelRngMode realizations, and is
+  /// what the channel kernel's fixed-order apply phase guarantees): within
+  /// a slot, every on_outcome/on_delivery for the slot's unicast results
+  /// fires first, in intent order, then every on_overhear fires in
+  /// ascending listener id. Protocol state updates may depend on this
+  /// order; they must not depend on anything finer (e.g. interleaving of
+  /// unicast and overhear callbacks), which no mode provides.
   virtual void on_overhear(NodeId listener, NodeId sender, PacketId packet,
                            SlotIndex slot) {
     (void)listener;

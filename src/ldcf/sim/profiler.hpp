@@ -1,7 +1,8 @@
 // Engine stage profiler: where do the slot-loop cycles go?
 //
-// SimEngine::run times each of its nine named stages (faults incl. the
-// active-set scan, generation, intents, sync-miss, channel, energy, apply,
+// SimEngine::run times each of its named stages (faults incl. the
+// active-set scan, generation, intents, sync-miss, the channel kernel's
+// gather/draw/apply phases plus the channel residual, energy, apply,
 // coverage, plus the compact-time next-event/fast-forward step) behind a
 // runtime gate. Disabled — the default — every probe is
 // a single well-predicted branch, so the hot loop stays at its benched
@@ -23,24 +24,34 @@
 
 namespace ldcf::sim {
 
-/// The engine's slot-loop stages, in execution order.
+/// The engine's slot-loop stages, in execution order. The stages are
+/// mutually exclusive (no probe nests inside another), so their timings sum
+/// to at most the loop wall time: the channel stage is reported as its
+/// three kernel phases — gather / draw / apply, timed inside
+/// Channel::resolve — plus `channel`, which keeps the engine-side residual
+/// (sync-miss and ghost result appends around the kernel).
 enum class Stage : std::uint8_t {
   kFaults = 0,  ///< fault injection + active-set scan.
   kGeneration,
   kIntents,
   kSyncMiss,
-  kChannel,
+  kChannel,        ///< channel-stage residual outside the kernel phases.
+  kChannelGather,  ///< kernel phase 1: rules + SoA draw-batch build.
+  kChannelDraw,    ///< kernel phase 2: Bernoulli realizations.
+  kChannelApply,   ///< kernel phase 3: fixed-order result patch/reduce.
   kEnergy,
   kApply,
   kCoverage,
   kCompact,  ///< compact-time next-event query + fast-forward.
 };
 
-inline constexpr std::size_t kNumStages = 9;
+inline constexpr std::size_t kNumStages = 12;
 
 inline constexpr std::array<std::string_view, kNumStages> kStageNames = {
-    "faults",  "generation", "intents", "sync_miss", "channel",
-    "energy",  "apply",      "coverage", "compact"};
+    "faults",         "generation",   "intents",
+    "sync_miss",      "channel",      "channel_gather",
+    "channel_draw",   "channel_apply", "energy",
+    "apply",          "coverage",     "compact"};
 
 /// Aggregated timings for one run (all zero when profiling was disabled).
 /// Summable across runs: ns, slots and wall_ns all add.

@@ -1,0 +1,84 @@
+#include "ldcf/sim/worker_pool.hpp"
+
+#include <utility>
+
+namespace ldcf::sim {
+
+WorkerPool::WorkerPool(std::uint32_t helpers) {
+  threads_.reserve(helpers);
+  for (std::uint32_t i = 0; i < helpers; ++i) {
+    // Helper i executes worker index i + 1; the dispatching thread is 0.
+    threads_.emplace_back([this, i] { helper_loop(i + 1); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(
+    const std::function<void(std::uint32_t, std::uint32_t)>& fn) {
+  const std::uint32_t total = workers();
+  if (threads_.empty()) {
+    fn(0, total);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    pending_ = static_cast<std::uint32_t>(threads_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0, total);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::helper_loop(std::uint32_t worker_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::uint32_t, std::uint32_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(
+          lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(worker_index, workers());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+std::pair<std::size_t, std::size_t> WorkerPool::chunk(
+    std::size_t count, std::uint32_t worker, std::uint32_t workers,
+    std::size_t align) noexcept {
+  if (workers == 0) workers = 1;
+  if (align == 0) align = 1;
+  // Divide the *aligned block* count so every boundary lands on a multiple
+  // of `align`; the last worker absorbs the tail.
+  const std::size_t blocks = (count + align - 1) / align;
+  const std::size_t per = blocks / workers;
+  const std::size_t extra = blocks % workers;
+  const std::size_t first_block =
+      static_cast<std::size_t>(worker) * per + (worker < extra ? worker : extra);
+  const std::size_t n_blocks = per + (worker < extra ? 1 : 0);
+  std::size_t begin = first_block * align;
+  std::size_t end = (first_block + n_blocks) * align;
+  if (begin > count) begin = count;
+  if (end > count) end = count;
+  return {begin, end};
+}
+
+}  // namespace ldcf::sim

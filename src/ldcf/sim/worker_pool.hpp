@@ -1,0 +1,69 @@
+// Persistent bounded worker pool for the threaded channel stage.
+//
+// `analysis::parallel_for_indexed` spawns a fresh thread team per call —
+// fine for trial-level parallelism where each task runs a whole simulation,
+// far too heavy for a per-slot kernel that fires thousands of times per run.
+// This pool keeps its helper threads parked on a condition variable between
+// slots, so dispatching a phase costs two lock/notify round trips instead of
+// thread creation.
+//
+// Determinism contract: the pool only *executes*; it never reduces. Callers
+// hand every worker the same callable plus a (worker_index, worker_count)
+// pair, carve disjoint output ranges from those, and perform any reduction
+// serially afterwards in fixed index order — the same discipline
+// analysis/parallel uses for bit-identical trial aggregation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ldcf::sim {
+
+class WorkerPool {
+ public:
+  /// Spin up `helpers` parked threads. Total parallelism is helpers + 1:
+  /// the caller of run() always executes worker index 0 itself.
+  explicit WorkerPool(std::uint32_t helpers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Number of workers run() fans out to (helpers + the caller).
+  [[nodiscard]] std::uint32_t workers() const noexcept {
+    return static_cast<std::uint32_t>(threads_.size()) + 1;
+  }
+
+  /// Invoke fn(worker_index, workers()) once per worker and block until all
+  /// invocations return. The caller runs index 0 on its own thread. `fn`
+  /// must not throw: the kernel phases dispatched here are pure arithmetic
+  /// over pre-sized arrays.
+  void run(const std::function<void(std::uint32_t, std::uint32_t)>& fn);
+
+  /// Split [0, count) into `workers` near-equal contiguous chunks, with the
+  /// boundaries rounded down to multiples of `align` so adjacent workers
+  /// never share an output word. Returns the half-open range for `worker`.
+  static std::pair<std::size_t, std::size_t> chunk(std::size_t count,
+                                                   std::uint32_t worker,
+                                                   std::uint32_t workers,
+                                                   std::size_t align) noexcept;
+
+ private:
+  void helper_loop(std::uint32_t worker_index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::uint32_t, std::uint32_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::uint32_t pending_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace ldcf::sim

@@ -266,7 +266,8 @@ TEST(Channel, ReusedChannelMatchesFreshResolvesAcrossSlots) {
   Rng rng_fresh(23);
   for (const auto& intents : slots) {
     SlotResolution from_reused;
-    reused.resolve(intents, active, config, rng_reused, from_reused);
+    reused.resolve(intents, active, /*slot=*/0, config, rng_reused,
+                   from_reused);
     const SlotResolution from_fresh =
         resolve_slot(topo, intents, active, config, rng_fresh);
     ASSERT_EQ(from_reused.results.size(), from_fresh.results.size());

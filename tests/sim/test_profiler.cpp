@@ -20,10 +20,11 @@ TEST(StageProfile, StartsZeroAndSharesAreSafeOnEmpty) {
 }
 
 TEST(StageProfile, MergeSumsEveryField) {
+  constexpr auto kCov = static_cast<std::size_t>(Stage::kCoverage);
   StageProfile a;
   a.enabled = true;
   a.stage_ns[0] = 100;
-  a.stage_ns[7] = 50;
+  a.stage_ns[kCov] = 50;
   a.wall_ns = 1000;
   a.slots = 10;
   StageProfile b;
@@ -33,7 +34,7 @@ TEST(StageProfile, MergeSumsEveryField) {
   a.merge(b);
   EXPECT_TRUE(a.enabled);
   EXPECT_EQ(a.stage_ns[0], 125u);
-  EXPECT_EQ(a.stage_ns[7], 50u);
+  EXPECT_EQ(a.stage_ns[kCov], 50u);
   EXPECT_EQ(a.total_stage_ns(), 175u);
   EXPECT_EQ(a.wall_ns, 1500u);
   EXPECT_EQ(a.slots, 15u);
