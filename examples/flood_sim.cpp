@@ -46,20 +46,47 @@
 //                        dissemination trees, delay waterfalls and theory
 //                        conformance (single run); with --reps, counts
 //                        trials violating the paper's bounds
+//     --timeline PATH    record a span timeline of the run (engine stages,
+//                        channel sub-phases, worker-pool chunks, counter
+//                        tracks) and write Chrome trace_event JSON to PATH —
+//                        open it in Perfetto / chrome://tracing. Purely
+//                        observational: results are bit-identical with or
+//                        without it
+//     --heartbeat PATH   append ldcf.heartbeat.v1 JSONL liveness records
+//                        (slots, coverage, rate, ETA) to PATH; tail -f it
+//     --heartbeat-secs S wall-clock seconds between heartbeat samples
+//                        (default 5)
+//     --watchdog S       attach a WatchdogObserver: declare a stall after S
+//                        wall-clock seconds without progress (exit code 3
+//                        with an ldcf.health.v1 diagnostic)
+//     --watchdog-slots N stall after N executed slots without progress
+//                        (deterministic variant; combinable with --watchdog)
+//     --watchdog-report PATH  write the ldcf.health.v1 diagnostic JSON here
+//                        when the watchdog trips (default: stderr)
+//     --inject-stall SLOT  test hook: wrap the protocol so it stops
+//                        proposing transmissions at SLOT while claiming
+//                        every slot busy — a dense busy-loop stall the
+//                        watchdog must catch (single-run mode only)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "ldcf/analysis/experiment.hpp"
 #include "ldcf/analysis/report.hpp"
 #include "ldcf/analysis/table.hpp"
+#include "ldcf/obs/heartbeat.hpp"
 #include "ldcf/obs/report.hpp"
 #include "ldcf/obs/stats_observer.hpp"
+#include "ldcf/obs/timeline.hpp"
 #include "ldcf/obs/trace_analysis.hpp"
+#include "ldcf/obs/watchdog.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/sim/simulator.hpp"
 #include "ldcf/sim/trace_observer.hpp"
@@ -88,23 +115,88 @@ std::uint64_t parse_u64(const char* text) {
 }
 
 // Completion/ETA line on stderr, rewritten in place with '\r'. The
-// executor serializes progress callbacks, so no locking is needed here.
+// executor serializes progress callbacks and fills in elapsed/rate/ETA
+// itself (see analysis::Progress), so this is pure formatting.
 ldcf::analysis::ProgressFn make_progress_printer() {
-  const auto start = std::chrono::steady_clock::now();
-  return [start](std::size_t completed, std::size_t total) {
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    const double rate = elapsed > 0.0
-                            ? static_cast<double>(completed) / elapsed
-                            : 0.0;
-    const double eta =
-        rate > 0.0 ? static_cast<double>(total - completed) / rate : 0.0;
-    std::fprintf(stderr, "\r  %zu/%zu trials, %.1fs elapsed, eta %.1fs ",
-                 completed, total, elapsed, eta);
-    if (completed == total) std::fputc('\n', stderr);
+  return [](const ldcf::analysis::Progress& p) {
+    std::fprintf(stderr,
+                 "\r  %zu/%zu trials, %.1fs elapsed, %.2f trials/s, eta %.1fs ",
+                 p.completed, p.total, p.elapsed_seconds, p.tasks_per_sec,
+                 p.eta_seconds);
+    if (p.completed == p.total) std::fputc('\n', stderr);
     std::fflush(stderr);
   };
+}
+
+// Test hook behind --inject-stall: forward everything to the wrapped
+// protocol until `stall_at`, then stop proposing transmissions while
+// claiming every slot busy. The run degenerates into a dense busy-loop
+// that makes no progress — exactly the pathology the watchdog's stall
+// invariant exists to catch.
+class StallAfterProtocol final : public ldcf::sim::FloodingProtocol {
+ public:
+  StallAfterProtocol(std::unique_ptr<ldcf::sim::FloodingProtocol> inner,
+                     ldcf::SlotIndex stall_at)
+      : inner_(std::move(inner)), stall_at_(stall_at) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return inner_->name();
+  }
+  void initialize(const ldcf::sim::SimContext& ctx) override {
+    inner_->initialize(ctx);
+  }
+  void on_generate(ldcf::PacketId packet, ldcf::SlotIndex slot) override {
+    inner_->on_generate(packet, slot);
+  }
+  void on_delivery(ldcf::NodeId receiver, ldcf::PacketId packet,
+                   ldcf::NodeId from, ldcf::SlotIndex slot) override {
+    inner_->on_delivery(receiver, packet, from, slot);
+  }
+  void on_outcome(const ldcf::sim::TxResult& result,
+                  ldcf::SlotIndex slot) override {
+    inner_->on_outcome(result, slot);
+  }
+  void on_overhear(ldcf::NodeId listener, ldcf::NodeId sender,
+                   ldcf::PacketId packet, ldcf::SlotIndex slot) override {
+    inner_->on_overhear(listener, sender, packet, slot);
+  }
+  void propose_transmissions(ldcf::SlotIndex slot,
+                             std::span<const ldcf::NodeId> active_receivers,
+                             std::vector<ldcf::sim::TxIntent>& out) override {
+    if (slot >= stall_at_) return;  // stalled: silence, forever.
+    inner_->propose_transmissions(slot, active_receivers, out);
+  }
+  [[nodiscard]] ldcf::SlotIndex next_busy_slot(
+      ldcf::SlotIndex from) const override {
+    // Claiming every slot from the stall point on defeats compact-time
+    // fast-forwarding, so the engine spins densely with nothing to do.
+    if (from >= stall_at_) return from;
+    return std::min(inner_->next_busy_slot(from), stall_at_);
+  }
+  [[nodiscard]] bool wants_overhearing() const override {
+    return inner_->wants_overhearing();
+  }
+  [[nodiscard]] bool collision_free_oracle() const override {
+    return inner_->collision_free_oracle();
+  }
+
+ private:
+  std::unique_ptr<ldcf::sim::FloodingProtocol> inner_;
+  ldcf::SlotIndex stall_at_;
+};
+
+// Serialize a tripped watchdog: diagnostic to --watchdog-report (or
+// stderr), a one-line summary either way, exit code 3.
+int report_watchdog_trip(const ldcf::obs::WatchdogError& error,
+                         const std::string& report_path) {
+  if (report_path.empty()) {
+    ldcf::obs::write_health_report(std::cerr, error.diagnostic());
+    std::cerr << '\n';
+  } else {
+    ldcf::obs::write_health_report_file(report_path, error.diagnostic());
+  }
+  std::cerr << "flood_sim: watchdog tripped: " << error.what() << "\n";
+  return 3;
 }
 
 }  // namespace
@@ -127,6 +219,13 @@ int run_cli(int argc, char** argv) {
   std::string topo_path;
   std::string trace_path;  // JSONL event-trace output (see trace_observer.hpp).
   std::string report_path;  // JSON run report (see obs/report.hpp).
+  std::string timeline_path;   // Chrome trace_event JSON (obs/timeline.hpp).
+  std::string heartbeat_path;  // ldcf.heartbeat.v1 JSONL (obs/heartbeat.hpp).
+  double heartbeat_seconds = 5.0;
+  std::string watchdog_report_path;  // ldcf.health.v1 JSON on a trip.
+  ldcf::obs::WatchdogConfig watchdog_config;
+  bool watchdog_enabled = false;
+  std::optional<SlotIndex> inject_stall;
   bool show_progress = false;
   bool analyze = false;
   std::uint32_t sensors = 298;
@@ -155,6 +254,22 @@ int run_cli(int argc, char** argv) {
       trace_path = next();
     } else if (arg == "--report") {
       report_path = next();
+    } else if (arg == "--timeline") {
+      timeline_path = next();
+    } else if (arg == "--heartbeat") {
+      heartbeat_path = next();
+    } else if (arg == "--heartbeat-secs") {
+      heartbeat_seconds = parse_double(next());
+    } else if (arg == "--watchdog") {
+      watchdog_config.stall_wall_seconds = parse_double(next());
+      watchdog_enabled = true;
+    } else if (arg == "--watchdog-slots") {
+      watchdog_config.stall_slot_budget = parse_u64(next());
+      watchdog_enabled = true;
+    } else if (arg == "--watchdog-report") {
+      watchdog_report_path = next();
+    } else if (arg == "--inject-stall") {
+      inject_stall = parse_u64(next());
     } else if (arg == "--progress") {
       show_progress = true;
     } else if (arg == "--analyze") {
@@ -276,10 +391,17 @@ int run_cli(int argc, char** argv) {
             }()
           : topology::read_trace_file(topo_path);
 
+  // One Timeline shared by everything the run spawns (engine thread, pool
+  // workers, trial workers): each records into its own lane.
+  std::optional<obs::Timeline> timeline;
+  if (!timeline_path.empty()) timeline.emplace();
+  if (timeline) config.timeline = &*timeline;
+
   if (reps > 1) {
     // Multi-seed mode: average over reps seeds, fanning the trials out
     // over the parallel trial executor (bit-identical at any --threads).
     if (csv) usage_error("--csv reports one run; drop it or use --reps 1");
+    if (inject_stall) usage_error("--inject-stall is single-run only");
     analysis::ExperimentConfig experiment;
     experiment.base = config;
     experiment.repetitions = reps;
@@ -287,9 +409,18 @@ int run_cli(int argc, char** argv) {
     experiment.trace_path = trace_path;  // per-trial suffix added downstream.
     experiment.report_path = report_path;
     experiment.check_conformance = analyze;
+    experiment.heartbeat_path = heartbeat_path;
+    experiment.heartbeat_seconds = heartbeat_seconds;
+    if (watchdog_enabled) experiment.watchdog = watchdog_config;
     if (show_progress) experiment.progress = make_progress_printer();
-    const analysis::ProtocolPoint point =
-        analysis::run_point(topo, protocol, config.duty, experiment);
+    analysis::ProtocolPoint point;
+    try {
+      point = analysis::run_point(topo, protocol, config.duty, experiment);
+    } catch (const obs::WatchdogError& error) {
+      if (timeline) timeline->write_chrome_trace_file(timeline_path);
+      return report_watchdog_trip(error, watchdog_report_path);
+    }
+    if (timeline) timeline->write_chrome_trace_file(timeline_path);
     std::cout << "protocol " << point.protocol << " on " << topo.num_sensors()
               << " sensors, duty " << 100.0 * config.duty.ratio() << "% x"
               << config.slots_per_period << ", M = " << config.num_packets
@@ -311,18 +442,45 @@ int run_cli(int argc, char** argv) {
     return point.all_covered ? 0 : 1;
   }
 
-  const auto proto = protocols::make_protocol(protocol);
+  auto proto = protocols::make_protocol(protocol);
+  if (inject_stall) {
+    proto = std::make_unique<StallAfterProtocol>(std::move(proto),
+                                                 *inject_stall);
+  }
   sim::MultiObserver fan_out;
   std::optional<sim::TraceObserver> trace;
   if (!trace_path.empty()) fan_out.add(&trace.emplace(trace_path));
+  // A timeline without stats would have only the engine's builtin counter
+  // tracks; attach the stats observer so the registry-backed tracks
+  // (delay/channel/energy histogram counters) get sampled too.
   std::optional<obs::StatsObserver> stats;
-  if (!report_path.empty()) {
+  if (!report_path.empty() || timeline) {
     fan_out.add(&stats.emplace(topo.num_nodes(), config.num_packets));
   }
+  std::optional<obs::TimelineMetricsObserver> timeline_metrics;
+  if (timeline && stats) {
+    fan_out.add(&timeline_metrics.emplace(*timeline, stats->registry()));
+  }
+  std::optional<obs::HeartbeatWriter> heartbeat_writer;
+  std::optional<obs::HeartbeatObserver> heartbeat;
+  if (!heartbeat_path.empty()) {
+    heartbeat_writer.emplace(heartbeat_path);
+    fan_out.add(&heartbeat.emplace(*heartbeat_writer, 0, protocol,
+                                   config.num_packets, heartbeat_seconds));
+  }
+  std::optional<obs::WatchdogObserver> watchdog;
+  if (watchdog_enabled) fan_out.add(&watchdog.emplace(watchdog_config));
   std::optional<obs::FlightRecorder> recorder;
   if (analyze) fan_out.add(&recorder.emplace());
-  const sim::SimResult result = sim::run_simulation(
-      topo, config, *proto, fan_out.size() > 0 ? &fan_out : nullptr);
+  sim::SimResult result;
+  try {
+    result = sim::run_simulation(
+        topo, config, *proto, fan_out.size() > 0 ? &fan_out : nullptr);
+  } catch (const obs::WatchdogError& error) {
+    if (timeline) timeline->write_chrome_trace_file(timeline_path);
+    return report_watchdog_trip(error, watchdog_report_path);
+  }
+  if (timeline) timeline->write_chrome_trace_file(timeline_path);
   if (!report_path.empty()) {
     obs::RunReportContext report;
     report.tool = "flood_sim";

@@ -4,7 +4,8 @@
 // back, exactly as a real measurement trace would be.
 //
 //   ./protocol_comparison [--report PATH] [--channel-rng seq|keyed]
-//                         [--channel-threads N] [duty_percent] [num_packets]
+//                         [--channel-threads N] [--heartbeat PATH]
+//                         [--watchdog SECONDS] [duty_percent] [num_packets]
 //                         [seed] [threads] [event_trace_path]
 //
 // All protocols run as one parallel sweep (threads: 0 = all cores,
@@ -16,7 +17,10 @@
 // event_trace_path is given, every trial writes a JSONL event trace there
 // with a per-trial "-<protocol>-T<period>-r<rep>" suffix. --report writes
 // a provenance-stamped ldcf.sweep_report.v1 JSON document with per-protocol
-// delay/energy histograms and stage-profiler timings.
+// delay/energy histograms and stage-profiler timings. --heartbeat streams
+// ldcf.heartbeat.v1 JSONL liveness records for every trial; --watchdog
+// attaches a stall watchdog (S wall-clock seconds without progress aborts
+// the sweep with an ldcf.health.v1 diagnostic on stderr and exit code 3).
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -26,6 +30,7 @@
 
 #include "ldcf/analysis/experiment.hpp"
 #include "ldcf/analysis/table.hpp"
+#include "ldcf/obs/watchdog.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/topology/generators.hpp"
 #include "ldcf/topology/trace_io.hpp"
@@ -35,6 +40,8 @@ int main(int argc, char** argv) {
 
   // Peel off the --flag options, leaving the positional args in place.
   std::string report_path;
+  std::string heartbeat_path;
+  double watchdog_seconds = 0.0;
   sim::ChannelRngMode channel_rng = sim::ChannelRngMode::kSequential;
   std::uint32_t channel_threads = 1;
   std::vector<char*> positional;
@@ -61,6 +68,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       channel_threads = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--heartbeat") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "protocol_comparison: --heartbeat needs a path\n";
+        return 2;
+      }
+      heartbeat_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--watchdog") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "protocol_comparison: --watchdog needs seconds\n";
+        return 2;
+      }
+      watchdog_seconds = std::atof(argv[++i]);
     } else {
       positional.push_back(argv[i]);
     }
@@ -94,11 +113,25 @@ int main(int argc, char** argv) {
   config.threads = threads;
   config.trace_path = event_trace_path;
   config.report_path = report_path;
+  config.heartbeat_path = heartbeat_path;
+  if (watchdog_seconds > 0.0) {
+    obs::WatchdogConfig watchdog;
+    watchdog.stall_wall_seconds = watchdog_seconds;
+    config.watchdog = watchdog;
+  }
   if (!report_path.empty()) config.base.profiling = true;
 
   // One sweep call: every protocol's trial runs concurrently.
-  const auto points = analysis::run_duty_sweep(
-      topo, protocols::protocol_names(), {duty_percent / 100.0}, config);
+  std::vector<analysis::ProtocolPoint> points;
+  try {
+    points = analysis::run_duty_sweep(
+        topo, protocols::protocol_names(), {duty_percent / 100.0}, config);
+  } catch (const obs::WatchdogError& error) {
+    obs::write_health_report(std::cerr, error.diagnostic());
+    std::cerr << "\nprotocol_comparison: watchdog tripped: " << error.what()
+              << "\n";
+    return 3;
+  }
 
   analysis::Table table({"protocol", "mean delay", "queueing", "transmission",
                          "failures", "attempts", "duplicates"});

@@ -4,11 +4,14 @@
 #include <chrono>
 #include <cmath>
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "ldcf/analysis/report.hpp"
 #include "ldcf/common/error.hpp"
+#include "ldcf/obs/heartbeat.hpp"
 #include "ldcf/obs/stats_observer.hpp"
+#include "ldcf/obs/timeline.hpp"
 #include "ldcf/obs/trace_analysis.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/sim/trace_observer.hpp"
@@ -22,29 +25,63 @@ TrialStats run_trial(const topology::Topology& topo,
                      const sim::SimConfig& config,
                      const std::string& trace_path, bool collect_stats,
                      bool check_conformance) {
+  TrialOptions options;
+  options.trace_path = trace_path;
+  options.collect_stats = collect_stats;
+  options.check_conformance = check_conformance;
+  return run_trial(topo, protocol, config, options);
+}
+
+TrialStats run_trial(const topology::Topology& topo,
+                     const std::string& protocol,
+                     const sim::SimConfig& config,
+                     const TrialOptions& options) {
+  obs::TimelineSpan trial_span(config.timeline, "trial", "executor", "trial",
+                               options.trial_id);
   const auto proto = protocols::make_protocol(protocol);
   // Optional observers share the engine's single observer slot through a
   // MultiObserver; the common no-observer path skips the fan-out entirely.
   sim::MultiObserver fan_out;
   std::optional<sim::TraceObserver> trace;
-  if (!trace_path.empty()) fan_out.add(&trace.emplace(trace_path));
+  if (!options.trace_path.empty()) {
+    fan_out.add(&trace.emplace(options.trace_path));
+  }
   std::optional<obs::StatsObserver> stats_observer;
-  if (collect_stats) {
+  if (options.collect_stats) {
     fan_out.add(&stats_observer.emplace(topo.num_nodes(), config.num_packets));
   }
   std::optional<obs::FlightRecorder> recorder;
-  if (check_conformance) fan_out.add(&recorder.emplace());
+  if (options.check_conformance) fan_out.add(&recorder.emplace());
+  // Registered after the StatsObserver so every sample reads the slot's
+  // settled counts.
+  std::optional<obs::TimelineMetricsObserver> counter_sampler;
+  if (config.timeline != nullptr && stats_observer) {
+    fan_out.add(&counter_sampler.emplace(*config.timeline,
+                                         stats_observer->registry()));
+  }
+  std::optional<obs::HeartbeatObserver> heartbeat;
+  if (options.heartbeat != nullptr) {
+    fan_out.add(&heartbeat.emplace(*options.heartbeat, options.trial_id,
+                                   options.label.empty() ? protocol
+                                                         : options.label,
+                                   config.num_packets,
+                                   options.heartbeat_seconds));
+  }
+  std::optional<obs::WatchdogObserver> watchdog;
+  if (options.watchdog != nullptr) {
+    fan_out.add(&watchdog.emplace(*options.watchdog));
+  }
   const sim::SimResult res = sim::run_simulation(
       topo, config, *proto, fan_out.size() > 0 ? &fan_out : nullptr);
   TrialStats stats;
   if (stats_observer) stats.metrics = std::move(stats_observer->registry());
   if (recorder) {
-    obs::TraceAnalysisOptions options;
-    options.num_sensors = topo.num_sensors();
-    options.duty_period = config.duty.period;
-    options.source = config.source;
+    obs::TraceAnalysisOptions analysis_options;
+    analysis_options.num_sensors = topo.num_sensors();
+    analysis_options.duty_period = config.duty.period;
+    analysis_options.source = config.source;
     const obs::TraceAnalysis analysis =
-        obs::analyze_trace(recorder->events(), options);
+        obs::analyze_trace(recorder->events(), analysis_options);
     stats.conformance_checked = true;
     stats.conformance_violations = analysis.conformance.violations();
   }
@@ -118,6 +155,35 @@ bool wants_stats(const ExperimentConfig& config) {
   return config.collect_stats || !config.report_path.empty();
 }
 
+/// The shared per-sweep heartbeat writer, or nothing. unique_ptr because
+/// HeartbeatWriter owns a mutex and cannot move.
+std::unique_ptr<obs::HeartbeatWriter> make_heartbeat(
+    const ExperimentConfig& config) {
+  if (config.heartbeat_path.empty()) return nullptr;
+  return std::make_unique<obs::HeartbeatWriter>(config.heartbeat_path);
+}
+
+/// TrialOptions for one grid trial: observer switches from the experiment
+/// config plus the trial's identity (id + "proto-T<period>-r<rep>" label).
+TrialOptions trial_options(const ExperimentConfig& config,
+                           obs::HeartbeatWriter* heartbeat,
+                           const std::string& protocol, DutyCycle duty,
+                           std::uint32_t rep, std::uint64_t trial_id,
+                           std::size_t total_trials) {
+  TrialOptions options;
+  options.trace_path = trial_trace_path(config.trace_path, protocol, duty,
+                                        rep, total_trials);
+  options.collect_stats = wants_stats(config);
+  options.check_conformance = config.check_conformance;
+  options.heartbeat = heartbeat;
+  options.heartbeat_seconds = config.heartbeat_seconds;
+  options.trial_id = trial_id;
+  options.label = protocol + "-T" + std::to_string(duty.period) + "-r" +
+                  std::to_string(rep);
+  options.watchdog = config.watchdog ? &*config.watchdog : nullptr;
+  return options;
+}
+
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
@@ -163,18 +229,22 @@ ProtocolPoint run_point(const topology::Topology& topo,
   LDCF_REQUIRE(config.repetitions >= 1, "need at least one repetition");
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<TrialStats> trials(config.repetitions);
+  const std::unique_ptr<obs::HeartbeatWriter> heartbeat = make_heartbeat(config);
   parallel_for_indexed(
       trials.size(), config.threads,
       [&](std::size_t rep) {
         const auto r = static_cast<std::uint32_t>(rep);
         trials[rep] = run_trial(
             topo, protocol, trial_config(config, duty, r),
-            trial_trace_path(config.trace_path, protocol, duty, r,
-                             trials.size()),
-            wants_stats(config), config.check_conformance);
+            trial_options(config, heartbeat.get(), protocol,
+                          duty, r, rep, trials.size()));
       },
       config.progress);
-  ProtocolPoint point = reduce_trials(protocol, duty, trials);
+  ProtocolPoint point = [&] {
+    obs::TimelineSpan span(config.base.timeline, "reduce", "executor",
+                           "trials", trials.size());
+    return reduce_trials(protocol, duty, trials);
+  }();
   warn_truncated({point}, trials.size());
   if (!config.report_path.empty()) {
     SweepReportContext report;
@@ -202,6 +272,7 @@ std::vector<ProtocolPoint> run_duty_sweep(
   const std::size_t reps = config.repetitions;
   const std::size_t cells = protocols.size() * duty_ratios.size();
   std::vector<TrialStats> trials(cells * reps);
+  const std::unique_ptr<obs::HeartbeatWriter> heartbeat = make_heartbeat(config);
   parallel_for_indexed(
       trials.size(), config.threads,
       [&](std::size_t t) {
@@ -212,22 +283,25 @@ std::vector<ProtocolPoint> run_duty_sweep(
             DutyCycle::from_ratio(duty_ratios[cell % duty_ratios.size()]);
         trials[t] = run_trial(
             topo, protocol, trial_config(config, duty, rep),
-            trial_trace_path(config.trace_path, protocol, duty, rep,
-                             trials.size()),
-            wants_stats(config), config.check_conformance);
+            trial_options(config, heartbeat.get(), protocol,
+                          duty, rep, t, trials.size()));
       },
       config.progress);
 
   std::vector<ProtocolPoint> points;
   points.reserve(cells);
-  for (std::size_t cell = 0; cell < cells; ++cell) {
-    const std::vector<TrialStats> cell_trials(
-        trials.begin() + static_cast<std::ptrdiff_t>(cell * reps),
-        trials.begin() + static_cast<std::ptrdiff_t>((cell + 1) * reps));
-    points.push_back(reduce_trials(
-        protocols[cell / duty_ratios.size()],
-        DutyCycle::from_ratio(duty_ratios[cell % duty_ratios.size()]),
-        cell_trials));
+  {
+    obs::TimelineSpan span(config.base.timeline, "reduce", "executor",
+                           "trials", trials.size());
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      const std::vector<TrialStats> cell_trials(
+          trials.begin() + static_cast<std::ptrdiff_t>(cell * reps),
+          trials.begin() + static_cast<std::ptrdiff_t>((cell + 1) * reps));
+      points.push_back(reduce_trials(
+          protocols[cell / duty_ratios.size()],
+          DutyCycle::from_ratio(duty_ratios[cell % duty_ratios.size()]),
+          cell_trials));
+    }
   }
   warn_truncated(points, trials.size());
   if (!config.report_path.empty()) {

@@ -3,13 +3,20 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ldcf/analysis/parallel.hpp"
 #include "ldcf/obs/registry.hpp"
+#include "ldcf/obs/watchdog.hpp"
 #include "ldcf/sim/simulator.hpp"
 #include "ldcf/topology/topology.hpp"
+
+namespace ldcf::obs {
+class HeartbeatWriter;  // obs/heartbeat.hpp.
+class Timeline;         // obs/timeline.hpp.
+}
 
 namespace ldcf::analysis {
 
@@ -69,6 +76,18 @@ struct ExperimentConfig {
   /// Completion callback forwarded to the parallel executor; see
   /// ProgressFn in parallel.hpp for the threading contract.
   ProgressFn progress;
+  /// When non-empty, stream `ldcf.heartbeat.v1` JSONL liveness records
+  /// (one shared append-mode writer across all trial workers) to this
+  /// file; see obs/heartbeat.hpp.
+  std::string heartbeat_path;
+  /// Minimum wall-clock seconds between heartbeat samples per trial (the
+  /// final `done` record always fires).
+  double heartbeat_seconds = 5.0;
+  /// When set, attach a WatchdogObserver with this config to every trial;
+  /// the first tripped invariant aborts the sweep with WatchdogError
+  /// (deterministically — the lowest-index failing trial wins, see
+  /// parallel.hpp).
+  std::optional<obs::WatchdogConfig> watchdog;
 };
 
 /// Raw aggregates of one seeded simulation trial, in reduction order.
@@ -91,12 +110,36 @@ struct TrialStats {
   sim::StageProfile profile;     ///< populated when config.profiling is on.
 };
 
+/// Per-trial observer selection for run_trial. Everything is optional and
+/// borrowed; the common all-defaults case attaches nothing.
+struct TrialOptions {
+  /// Non-empty: attach a TraceObserver writing JSONL here.
+  std::string trace_path;
+  /// Attach a StatsObserver and return its registry in TrialStats::metrics.
+  bool collect_stats = false;
+  /// Attach a FlightRecorder and fill the trial's conformance verdict.
+  bool check_conformance = false;
+  /// Non-null: attach a HeartbeatObserver streaming liveness records for
+  /// this trial (identified by trial_id/label) to the shared writer.
+  obs::HeartbeatWriter* heartbeat = nullptr;
+  double heartbeat_seconds = 5.0;
+  std::uint64_t trial_id = 0;
+  std::string label;  ///< heartbeat label, e.g. "naive-T20-r3".
+  /// Non-null: attach a WatchdogObserver with this config; a tripped
+  /// invariant throws WatchdogError out of run_trial.
+  const obs::WatchdogConfig* watchdog = nullptr;
+};
+
 /// One simulation run of `protocol` under exactly `config` (duty and seed
-/// already set). Self-contained: safe to run concurrently with other trials.
-/// A non-empty `trace_path` attaches a TraceObserver writing JSONL there;
-/// `collect_stats` attaches a StatsObserver and returns its registry;
-/// `check_conformance` attaches a FlightRecorder and fills the trial's
-/// conformance verdict from obs::analyze_trace.
+/// already set). Self-contained: safe to run concurrently with other
+/// trials — a shared config.timeline is fine (per-thread lanes), and the
+/// trial itself records a "trial" span on it.
+[[nodiscard]] TrialStats run_trial(const topology::Topology& topo,
+                                   const std::string& protocol,
+                                   const sim::SimConfig& config,
+                                   const TrialOptions& options);
+
+/// Compatibility overload predating TrialOptions.
 [[nodiscard]] TrialStats run_trial(const topology::Topology& topo,
                                    const std::string& protocol,
                                    const sim::SimConfig& config,

@@ -2,12 +2,35 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace ldcf::analysis {
+
+namespace {
+
+Progress make_progress(std::size_t completed, std::size_t total,
+                       std::chrono::steady_clock::time_point start) {
+  Progress p;
+  p.completed = completed;
+  p.total = total;
+  p.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (p.elapsed_seconds > 0.0) {
+    p.tasks_per_sec = static_cast<double>(completed) / p.elapsed_seconds;
+  }
+  if (p.tasks_per_sec > 0.0 && completed < total) {
+    p.eta_seconds =
+        static_cast<double>(total - completed) / p.tasks_per_sec;
+  }
+  return p;
+}
+
+}  // namespace
 
 std::uint32_t resolve_threads(std::uint32_t requested) {
   if (requested != 0) return requested;
@@ -19,10 +42,11 @@ void parallel_for_indexed(std::size_t count, std::uint32_t threads,
                           const ProgressFn& progress) {
   const std::size_t workers =
       std::min<std::size_t>(resolve_threads(threads), count);
+  const auto start = std::chrono::steady_clock::now();
   if (workers <= 1) {
     for (std::size_t i = 0; i < count; ++i) {
       task(i);
-      if (progress) progress(i + 1, count);
+      if (progress) progress(make_progress(i + 1, count, start));
     }
     return;
   }
@@ -43,7 +67,7 @@ void parallel_for_indexed(std::size_t count, std::uint32_t threads,
       }
       if (progress) {
         const std::lock_guard<std::mutex> lock(progress_mutex);
-        progress(++completed, count);
+        progress(make_progress(++completed, count, start));
       }
     }
   };

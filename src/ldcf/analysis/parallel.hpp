@@ -21,13 +21,24 @@ namespace ldcf::analysis {
 /// is taken literally.
 [[nodiscard]] std::uint32_t resolve_threads(std::uint32_t requested);
 
-/// Completion callback: `completed` of `total` tasks have finished. Calls
-/// are serialized (under a mutex on the parallel path) so the callback
-/// needs no locking of its own, but it runs on whichever worker finished a
-/// task — keep it cheap (progress bars, ETA math), it stalls that worker.
-/// `completed` is a count, not an index: tasks finish in any order.
-using ProgressFn = std::function<void(std::size_t completed,
-                                      std::size_t total)>;
+/// One completion report. `completed` is a count, not an index: tasks
+/// finish in any order. The rate and ETA come from the executor's own
+/// monotonic clock, measured from the parallel_for_indexed call, so every
+/// consumer (flood_sim --progress, sweep drivers) shares one definition
+/// instead of re-deriving it from wall timestamps.
+struct Progress {
+  std::size_t completed = 0;
+  std::size_t total = 0;
+  double elapsed_seconds = 0.0;
+  double tasks_per_sec = 0.0;  ///< 0 until elapsed time is measurable.
+  double eta_seconds = 0.0;    ///< remaining / tasks_per_sec; 0 when done.
+};
+
+/// Completion callback. Calls are serialized (under a mutex on the
+/// parallel path) so the callback needs no locking of its own, but it runs
+/// on whichever worker finished a task — keep it cheap (progress bars,
+/// logging), it stalls that worker.
+using ProgressFn = std::function<void(const Progress& progress)>;
 
 /// Run task(i) for every i in [0, count), fanning out over at most
 /// `threads` workers (resolved via resolve_threads). With a resolved

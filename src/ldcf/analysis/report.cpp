@@ -10,6 +10,24 @@ namespace ldcf::analysis {
 
 namespace {
 
+// Interpolated delay percentiles from the point's merged delay.* histograms
+// (exact cross-trial merges, see histogram.hpp). Written only when the
+// sweep collected stats — the histograms do not exist otherwise.
+void write_delay_quantiles(obs::JsonWriter& json, const ProtocolPoint& point) {
+  const auto& histograms = point.metrics.histograms();
+  json.key("delay_quantiles").begin_object();
+  for (const auto& [name, histogram] : histograms) {
+    if (name.rfind("delay.", 0) != 0 || histogram.count() == 0) continue;
+    json.key(name)
+        .begin_object()
+        .field("p50", histogram.quantile_interp(0.50))
+        .field("p90", histogram.quantile_interp(0.90))
+        .field("p99", histogram.quantile_interp(0.99))
+        .end_object();
+  }
+  json.end_object();
+}
+
 void write_point(obs::JsonWriter& json, const ProtocolPoint& point) {
   json.begin_object()
       .field("protocol", point.protocol)
@@ -27,6 +45,7 @@ void write_point(obs::JsonWriter& json, const ProtocolPoint& point) {
       .field("truncated", point.truncated)
       .field("truncated_trials", point.truncated_trials)
       .field("violating_trials", point.violating_trials);
+  write_delay_quantiles(json, point);
   json.key("profiler");
   obs::write_stage_profile(json, point.profile);
   json.key("metrics");

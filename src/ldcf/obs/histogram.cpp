@@ -108,4 +108,24 @@ double Histogram::quantile(double q) const {
   return bin_lower(bins_.size() - 1);  // unreachable when counts add up.
 }
 
+double Histogram::quantile_interp(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const std::uint64_t below = seen;
+    seen += bins_[i];
+    if (static_cast<double>(seen) < target) continue;
+    // Rank `target` sits inside bin i, a fraction of the way between the
+    // cumulative count below it and the cumulative count through it.
+    const double frac = (target - static_cast<double>(below)) /
+                        static_cast<double>(bins_[i]);
+    return bin_lower(i) + frac * width_;
+  }
+  return bin_upper(bins_.size() - 1);  // unreachable when counts add up.
+}
+
 }  // namespace ldcf::obs

@@ -73,6 +73,15 @@ class Histogram {
   /// With bin_width 1 and integer samples this is the exact quantile.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Bin-interpolated quantile: locate the bin holding rank q * count,
+  /// then interpolate linearly inside it by the rank's position between the
+  /// bin's cumulative bounds (samples assumed uniform within a bin — the
+  /// standard histogram-percentile estimator). Falls inside
+  /// [bin_lower, bin_upper) of the quantile() bin, converges to the exact
+  /// quantile as bins narrow, and unlike quantile() moves smoothly with q.
+  /// q outside [0, 1] is clamped; 0 when empty.
+  [[nodiscard]] double quantile_interp(double q) const;
+
  private:
   /// Double the bin width: merge adjacent bin pairs until `bucket` fits.
   void coarsen_until_fits(std::size_t bucket);

@@ -25,143 +25,6 @@
 
 namespace ldcf::obs {
 
-JsonWriter::JsonWriter(std::ostream& out) : out_(out) {
-  // Doubles must round-trip: max_digits10 with the default float format.
-  out_.precision(std::numeric_limits<double>::max_digits10);
-}
-
-JsonWriter::~JsonWriter() = default;
-
-void JsonWriter::comma() {
-  if (key_pending_) {
-    key_pending_ = false;
-    return;  // the key already emitted its separator.
-  }
-  if (!has_item_.empty()) {
-    if (has_item_.back()) out_ << ',';
-    has_item_.back() = true;
-  }
-}
-
-JsonWriter& JsonWriter::begin_object() {
-  comma();
-  out_ << '{';
-  has_item_.push_back(false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::end_object() {
-  LDCF_CHECK(!has_item_.empty() && !key_pending_, "unbalanced JSON object");
-  has_item_.pop_back();
-  out_ << '}';
-  return *this;
-}
-
-JsonWriter& JsonWriter::begin_array() {
-  comma();
-  out_ << '[';
-  has_item_.push_back(false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::end_array() {
-  LDCF_CHECK(!has_item_.empty() && !key_pending_, "unbalanced JSON array");
-  has_item_.pop_back();
-  out_ << ']';
-  return *this;
-}
-
-namespace {
-
-void write_escaped(std::ostream& out, std::string_view text) {
-  out << '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      case '\t':
-        out << "\\t";
-        break;
-      case '\r':
-        out << "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          const char* hex = "0123456789abcdef";
-          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
-}
-
-}  // namespace
-
-JsonWriter& JsonWriter::key(std::string_view name) {
-  LDCF_CHECK(!has_item_.empty() && !key_pending_,
-             "JSON key outside an object");
-  if (has_item_.back()) out_ << ',';
-  has_item_.back() = true;
-  write_escaped(out_, name);
-  out_ << ':';
-  key_pending_ = true;
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(std::string_view text) {
-  comma();
-  write_escaped(out_, text);
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(const char* text) {
-  return value(std::string_view(text));
-}
-
-JsonWriter& JsonWriter::value(double number) {
-  if (!std::isfinite(number)) return null();
-  comma();
-  out_ << number;
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(std::uint64_t number) {
-  comma();
-  out_ << number;
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(std::int64_t number) {
-  comma();
-  out_ << number;
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(std::uint32_t number) {
-  return value(static_cast<std::uint64_t>(number));
-}
-
-JsonWriter& JsonWriter::value(bool flag) {
-  comma();
-  out_ << (flag ? "true" : "false");
-  return *this;
-}
-
-JsonWriter& JsonWriter::null() {
-  comma();
-  out_ << "null";
-  return *this;
-}
-
 Provenance Provenance::current() {
   Provenance p;
   p.git_sha = LDCF_GIT_SHA;
@@ -243,7 +106,10 @@ void write_histogram(JsonWriter& json, const Histogram& histogram) {
       .field("sum", histogram.sum())
       .field("mean", histogram.mean())
       .field("min", histogram.min())
-      .field("max", histogram.max());
+      .field("max", histogram.max())
+      .field("p50", histogram.quantile_interp(0.50))
+      .field("p90", histogram.quantile_interp(0.90))
+      .field("p99", histogram.quantile_interp(0.99));
   json.key("bins").begin_array();
   for (std::size_t bin = 0; bin < histogram.num_bins(); ++bin) {
     if (histogram.bin_count(bin) == 0) continue;

@@ -7,67 +7,28 @@
 // histogram payloads — which is what lets a few lines of jq extract a
 // delay CDF and check it against Theorems 1-2 (EXPERIMENTS.md shows how).
 //
-// JsonWriter is deliberately small and reusable: a streaming emitter with
-// comma/nesting management and string escaping, used by the run-report
-// functions here, the sweep reports in analysis/, and the bench harness.
+// The JSON plumbing (JsonWriter) lives in obs/json_writer.hpp so that
+// telemetry-core code (timeline, trace_event_writer) can serialize without
+// depending on sim/.
 //
 // Schema (`ldcf.run_report.v1`): top-level keys `schema`, `tool`,
 // `provenance`, `config`, `topology`, `result`, `profiler`, `metrics`.
 // Histograms serialize sparsely: only non-empty bins, as
-// {"lower": L, "count": C} at the histogram's final bin width.
+// {"lower": L, "count": C} at the histogram's final bin width; delay
+// histograms additionally surface interpolated p50/p90/p99.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
-#include <vector>
 
+#include "ldcf/obs/json_writer.hpp"
 #include "ldcf/obs/registry.hpp"
 #include "ldcf/sim/engine.hpp"
 #include "ldcf/topology/topology.hpp"
 
 namespace ldcf::obs {
-
-/// Minimal streaming JSON emitter: keeps a nesting stack and inserts
-/// commas; the caller is responsible for well-formed key/value pairing
-/// (LDCF_CHECKed where cheap).
-class JsonWriter {
- public:
-  explicit JsonWriter(std::ostream& out);
-  ~JsonWriter();
-
-  JsonWriter& begin_object();
-  JsonWriter& end_object();
-  JsonWriter& begin_array();
-  JsonWriter& end_array();
-
-  /// Emit an object key; the next value/begin_* call is its value.
-  JsonWriter& key(std::string_view name);
-
-  JsonWriter& value(std::string_view text);
-  JsonWriter& value(const char* text);
-  JsonWriter& value(double number);  ///< non-finite values emit null.
-  JsonWriter& value(std::uint64_t number);
-  JsonWriter& value(std::int64_t number);
-  JsonWriter& value(std::uint32_t number);
-  JsonWriter& value(bool flag);
-  JsonWriter& null();
-
-  /// key(name) + value(v) in one call.
-  template <typename T>
-  JsonWriter& field(std::string_view name, T&& v) {
-    key(name);
-    return value(std::forward<T>(v));
-  }
-
- private:
-  void comma();
-
-  std::ostream& out_;
-  std::vector<bool> has_item_;  ///< per open scope: emitted an item yet?
-  bool key_pending_ = false;
-};
 
 /// Build/environment provenance captured at compile time (CMake injects
 /// the git SHA and flags into report.cpp; "unknown" when unavailable —

@@ -1,5 +1,7 @@
 #include "ldcf/obs/stats_observer.hpp"
 
+#include "ldcf/common/error.hpp"
+#include "ldcf/obs/timeline.hpp"
 #include "ldcf/sim/engine.hpp"
 
 namespace ldcf::obs {
@@ -122,6 +124,31 @@ void StatsObserver::on_run_end(const sim::SimResult& result) {
   registry_.counter("slots.simulated").inc(result.metrics.end_slot);
   registry_.counter("runs.total").inc();
   if (result.metrics.truncated) registry_.counter("runs.truncated").inc();
+}
+
+TimelineMetricsObserver::TimelineMetricsObserver(
+    Timeline& timeline, const MetricsRegistry& registry,
+    std::uint64_t sample_stride)
+    : timeline_(timeline), registry_(registry), stride_(sample_stride) {
+  LDCF_REQUIRE(stride_ > 0, "sample_stride must be positive");
+}
+
+void TimelineMetricsObserver::sample() {
+  // Counter names live in the registry's node-based maps, so the c_str()
+  // pointers stay valid for the registry's lifetime — exactly the lifetime
+  // contract CounterRecord::track needs.
+  for (const auto& [name, counter] : registry_.counters()) {
+    timeline_.counter(name.c_str(), static_cast<double>(counter.value()));
+  }
+}
+
+void TimelineMetricsObserver::on_slot_begin(
+    SlotIndex /*slot*/, std::span<const NodeId> /*active*/) {
+  if ((executed_++ % stride_) == 0) sample();
+}
+
+void TimelineMetricsObserver::on_run_end(const sim::SimResult& /*result*/) {
+  sample();  // final values, after the last slot settled.
 }
 
 }  // namespace ldcf::obs

@@ -94,4 +94,30 @@ class StatsObserver final : public sim::SimObserver {
   std::vector<SlotIndex> copy_slot_;
 };
 
+class Timeline;
+
+/// Samples a MetricsRegistry's counters onto Timeline counter tracks so
+/// protocol dynamics (coverage, tx outcomes, deliveries) are visible in
+/// Perfetto alongside the CPU-time spans. Register it *after* the
+/// StatsObserver feeding the registry (MultiObserver calls in registration
+/// order), so each sample sees the slot's final counts.
+class TimelineMetricsObserver final : public sim::SimObserver {
+ public:
+  /// Samples every `sample_stride` executed slots (and once at run end).
+  /// Both the timeline and the registry are borrowed.
+  TimelineMetricsObserver(Timeline& timeline, const MetricsRegistry& registry,
+                          std::uint64_t sample_stride = 64);
+
+  void on_slot_begin(SlotIndex slot, std::span<const NodeId> active) override;
+  void on_run_end(const sim::SimResult& result) override;
+
+ private:
+  void sample();
+
+  Timeline& timeline_;
+  const MetricsRegistry& registry_;
+  std::uint64_t stride_;
+  std::uint64_t executed_ = 0;
+};
+
 }  // namespace ldcf::obs

@@ -1,0 +1,221 @@
+// Span-based timeline tracing: what every thread was doing, when.
+//
+// The stage profiler (sim/profiler.hpp) answers "where did the cycles go"
+// as end-of-run totals; the Timeline answers "what happened at 13.2 ms" —
+// the question flooding pathologies (suppression storms, back-to-back wake
+// floods, a stalled channel phase) are actually diagnosed with. Every
+// instrumented region records a SpanRecord (name, category, start, duration,
+// two numeric args) into a ring buffer owned by the recording thread;
+// counter tracks (coverage, holders, tx outcomes) ride alongside as sampled
+// CounterRecords. The whole capture flushes to Chrome trace_event JSON
+// (trace_event_writer.hpp) loadable in Perfetto / chrome://tracing.
+//
+// Concurrency model — single-producer lanes, quiescent flush:
+//   * Each thread owns one Lane; only that thread ever writes it (the
+//     thread-local cache in lane() makes the lookup one pointer compare on
+//     the hot path, a mutex-guarded registration on first touch).
+//   * Lanes are rings: when full they overwrite the oldest record, keeping
+//     the *latest* window (the end of a run is where stalls live) and
+//     counting drops honestly.
+//   * snapshot()/write_chrome_trace() must only run while no instrumented
+//     code is executing (after SimEngine::run returns, after worker joins).
+//     Every producer handoff in the codebase already synchronizes through a
+//     mutex/condvar (WorkerPool::run) or thread join (parallel_for_indexed),
+//     so the flush observes fully written records without extra fences.
+//
+// Determinism contract: recording never touches simulation state or RNG —
+// results are bit-identical with tracing on or off, enforced the same way
+// profiling is (tests/sim/test_timeline_engine.cpp). With no Timeline
+// attached every probe is a null-pointer check: zero clock reads, zero
+// allocation on the hot path.
+//
+// Span names must be string literals (or otherwise outlive the Timeline):
+// records store the pointer, not a copy — that is what keeps record() at a
+// handful of stores.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ldcf::obs {
+
+class TraceEventWriter;
+
+/// One completed span. Fixed-size, no heap: names are borrowed pointers to
+/// static strings, args are two optional (name, u64) pairs.
+struct SpanRecord {
+  const char* name = nullptr;      ///< e.g. "channel_draw" (static storage).
+  const char* category = nullptr;  ///< "engine" | "channel" | "pool" | ...
+  std::uint64_t start_ns = 0;      ///< relative to the timeline epoch.
+  std::uint64_t dur_ns = 0;
+  const char* arg0_name = nullptr;  ///< nullptr = no arg.
+  std::uint64_t arg0 = 0;
+  const char* arg1_name = nullptr;
+  std::uint64_t arg1 = 0;
+};
+
+/// One sampled counter value on a named track.
+struct CounterRecord {
+  const char* track = nullptr;  ///< e.g. "coverage.packets_covered".
+  std::uint64_t ts_ns = 0;
+  double value = 0.0;
+};
+
+struct TimelineOptions {
+  std::size_t span_capacity = 1 << 16;     ///< spans kept per lane (>= 1).
+  std::size_t counter_capacity = 1 << 14;  ///< counter samples per lane.
+};
+
+/// Multi-lane span/counter collector. Thread-safe for recording (each
+/// thread writes its own lane); snapshot/flush require quiescence (above).
+class Timeline {
+ public:
+  /// Single-producer record ring. Obtain via Timeline::lane(); never share
+  /// a Lane across threads.
+  class Lane {
+   public:
+    void record_span(const SpanRecord& span) {
+      spans_[static_cast<std::size_t>(span_count_ % spans_.size())] = span;
+      ++span_count_;
+    }
+    void record_counter(const CounterRecord& counter) {
+      counters_[static_cast<std::size_t>(counter_count_ % counters_.size())] =
+          counter;
+      ++counter_count_;
+    }
+
+   private:
+    friend class Timeline;
+    Lane(std::uint32_t tid, std::string label, const TimelineOptions& options)
+        : tid_(tid), label_(std::move(label)) {
+      spans_.resize(options.span_capacity);
+      counters_.resize(options.counter_capacity);
+    }
+
+    std::uint32_t tid_;
+    std::string label_;
+    std::vector<SpanRecord> spans_;        ///< ring storage, fixed size.
+    std::uint64_t span_count_ = 0;         ///< total ever recorded.
+    std::vector<CounterRecord> counters_;  ///< ring storage, fixed size.
+    std::uint64_t counter_count_ = 0;
+  };
+
+  /// Everything one lane captured, oldest record first, plus how much the
+  /// ring had to drop to keep the latest window.
+  struct LaneView {
+    std::uint32_t tid = 0;
+    std::string label;
+    std::vector<SpanRecord> spans;
+    std::vector<CounterRecord> counters;
+    std::uint64_t dropped_spans = 0;
+    std::uint64_t dropped_counters = 0;
+  };
+
+  explicit Timeline(const TimelineOptions& options = {});
+
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  /// The calling thread's lane, creating and registering it on first use.
+  /// Hot path after the first call: one thread-local pointer compare.
+  [[nodiscard]] Lane& lane();
+
+  /// Nanoseconds since the timeline epoch (steady clock; construction = 0).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Label the *calling thread's* lane in the exported trace (e.g.
+  /// "engine", "pool-1", "trial-worker-3"). Later calls win.
+  void label_current_thread(std::string label);
+
+  /// Record a counter sample on the calling thread's lane.
+  void counter(const char* track, double value) {
+    CounterRecord rec;
+    rec.track = track;
+    rec.ts_ns = now_ns();
+    rec.value = value;
+    lane().record_counter(rec);
+  }
+
+  [[nodiscard]] std::size_t num_lanes() const;
+
+  /// Copy out every lane's records in chronological (recording) order.
+  /// Quiescence required: no thread may be recording during the call.
+  [[nodiscard]] std::vector<LaneView> snapshot() const;
+
+  /// Total records the rings overwrote, summed over lanes.
+  [[nodiscard]] std::uint64_t dropped_spans() const;
+
+  /// Serialize the capture as Chrome trace_event JSON (Perfetto /
+  /// chrome://tracing). Same quiescence requirement as snapshot().
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// File variant; throws InvalidArgument if `path` cannot be opened.
+  void write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  [[nodiscard]] Lane& register_lane();
+
+  TimelineOptions options_;
+  std::uint64_t id_;  ///< process-unique; defeats address reuse in caches.
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;  ///< guards lanes_ registration + label edits.
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread::id> lane_owners_;  ///< parallel to lanes_.
+};
+
+/// RAII span probe. A null timeline makes construction and destruction a
+/// pointer check — the disabled path reads no clock and writes nothing.
+class TimelineSpan {
+ public:
+  TimelineSpan(Timeline* timeline, const char* name, const char* category)
+      : timeline_(timeline) {
+    if (timeline_ == nullptr) return;
+    span_.name = name;
+    span_.category = category;
+    span_.start_ns = timeline_->now_ns();
+  }
+  TimelineSpan(Timeline* timeline, const char* name, const char* category,
+               const char* arg0_name, std::uint64_t arg0)
+      : TimelineSpan(timeline, name, category) {
+    span_.arg0_name = arg0_name;
+    span_.arg0 = arg0;
+  }
+  TimelineSpan(Timeline* timeline, const char* name, const char* category,
+               const char* arg0_name, std::uint64_t arg0,
+               const char* arg1_name, std::uint64_t arg1)
+      : TimelineSpan(timeline, name, category, arg0_name, arg0) {
+    span_.arg1_name = arg1_name;
+    span_.arg1 = arg1;
+  }
+
+  ~TimelineSpan() {
+    if (timeline_ == nullptr) return;
+    span_.dur_ns = timeline_->now_ns() - span_.start_ns;
+    timeline_->lane().record_span(span_);
+  }
+
+  TimelineSpan(const TimelineSpan&) = delete;
+  TimelineSpan& operator=(const TimelineSpan&) = delete;
+
+  /// Attach/overwrite args after construction (e.g. once a count is known).
+  void arg0(const char* name, std::uint64_t value) {
+    span_.arg0_name = name;
+    span_.arg0 = value;
+  }
+  void arg1(const char* name, std::uint64_t value) {
+    span_.arg1_name = name;
+    span_.arg1 = value;
+  }
+
+ private:
+  Timeline* timeline_;
+  SpanRecord span_{};
+};
+
+}  // namespace ldcf::obs

@@ -1,0 +1,82 @@
+#include "ldcf/obs/trace_event_writer.hpp"
+
+#include <ostream>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/obs/timeline.hpp"
+
+namespace ldcf::obs {
+
+namespace {
+
+constexpr double kNsToUs = 1e-3;  // trace_event timestamps are microseconds.
+
+}  // namespace
+
+TraceEventWriter::TraceEventWriter(std::ostream& out) : json_(out) {
+  json_.begin_object();
+  json_.key("traceEvents");
+  json_.begin_array();
+}
+
+void TraceEventWriter::event_header(std::string_view ph, std::uint32_t tid) {
+  json_.begin_object();
+  json_.field("ph", ph);
+  json_.field("pid", std::uint64_t{1});
+  json_.field("tid", static_cast<std::uint64_t>(tid));
+}
+
+void TraceEventWriter::thread_metadata(std::uint32_t tid,
+                                       std::string_view name) {
+  event_header("M", tid);
+  json_.field("name", "thread_name");
+  json_.key("args");
+  json_.begin_object();
+  json_.field("name", name);
+  json_.end_object();
+  json_.end_object();
+}
+
+void TraceEventWriter::complete_event(std::uint32_t tid,
+                                      const SpanRecord& span) {
+  event_header("X", tid);
+  json_.field("name", span.name != nullptr ? span.name : "?");
+  json_.field("cat", span.category != nullptr ? span.category : "ldcf");
+  json_.field("ts", static_cast<double>(span.start_ns) * kNsToUs);
+  json_.field("dur", static_cast<double>(span.dur_ns) * kNsToUs);
+  if (span.arg0_name != nullptr || span.arg1_name != nullptr) {
+    json_.key("args");
+    json_.begin_object();
+    if (span.arg0_name != nullptr) json_.field(span.arg0_name, span.arg0);
+    if (span.arg1_name != nullptr) json_.field(span.arg1_name, span.arg1);
+    json_.end_object();
+  }
+  json_.end_object();
+}
+
+void TraceEventWriter::counter_event(std::uint32_t tid,
+                                     const CounterRecord& counter) {
+  event_header("C", tid);
+  json_.field("name", counter.track != nullptr ? counter.track : "?");
+  json_.field("ts", static_cast<double>(counter.ts_ns) * kNsToUs);
+  json_.key("args");
+  json_.begin_object();
+  json_.field("value", counter.value);
+  json_.end_object();
+  json_.end_object();
+}
+
+void TraceEventWriter::finish(std::uint64_t dropped_records) {
+  LDCF_CHECK(!finished_, "TraceEventWriter::finish called twice");
+  finished_ = true;
+  json_.end_array();
+  json_.field("displayTimeUnit", "ms");
+  json_.key("otherData");
+  json_.begin_object();
+  json_.field("schema", "ldcf.timeline.v1");
+  json_.field("dropped_records", dropped_records);
+  json_.end_object();
+  json_.end_object();
+}
+
+}  // namespace ldcf::obs

@@ -1,0 +1,55 @@
+// Serializer for the Chrome trace_event JSON format (the "JSON Array
+// Format" with a {"traceEvents": [...]} envelope) as consumed by Perfetto
+// and chrome://tracing:
+//   * complete events  (ph "X"): one object per finished span, with ts/dur
+//     in *microseconds* (fractional — Chrome's unit, kept as doubles so
+//     sub-µs spans stay visible).
+//   * counter events   (ph "C"): sampled numeric tracks.
+//   * thread metadata  (ph "M", "thread_name"): labels each lane.
+// All events share pid 1 (single process); tid is the Timeline lane id.
+//
+// Deliberately dumb: the Timeline decides *what* to write and in what
+// order, this class only knows the wire format. Kept separate so other
+// producers (e.g. a future sweep server) can emit the same format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "ldcf/obs/json_writer.hpp"
+
+namespace ldcf::obs {
+
+struct SpanRecord;
+struct CounterRecord;
+
+class TraceEventWriter {
+ public:
+  /// Opens the {"traceEvents": [ envelope; finish() closes it.
+  explicit TraceEventWriter(std::ostream& out);
+
+  TraceEventWriter(const TraceEventWriter&) = delete;
+  TraceEventWriter& operator=(const TraceEventWriter&) = delete;
+
+  /// ph "M" thread_name metadata: names lane `tid` in the trace UI.
+  void thread_metadata(std::uint32_t tid, std::string_view name);
+
+  /// ph "X" complete event for one finished span.
+  void complete_event(std::uint32_t tid, const SpanRecord& span);
+
+  /// ph "C" counter sample.
+  void counter_event(std::uint32_t tid, const CounterRecord& counter);
+
+  /// Closes the array and writes top-level metadata (schema id, drop
+  /// count). Must be called exactly once, after all events.
+  void finish(std::uint64_t dropped_records);
+
+ private:
+  void event_header(std::string_view ph, std::uint32_t tid);
+
+  JsonWriter json_;
+  bool finished_ = false;
+};
+
+}  // namespace ldcf::obs

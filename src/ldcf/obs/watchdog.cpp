@@ -1,0 +1,195 @@
+#include "ldcf/obs/watchdog.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/obs/json_writer.hpp"
+#include "ldcf/sim/engine.hpp"
+
+namespace ldcf::obs {
+
+namespace {
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void write_health_report(std::ostream& out, const HealthDiagnostic& diag) {
+  JsonWriter json(out);
+  json.begin_object()
+      .field("schema", "ldcf.health.v1")
+      .field("invariant", diag.invariant)
+      .field("message", diag.message)
+      .field("slot", static_cast<std::uint64_t>(diag.slot))
+      .field("slots_since_progress", diag.slots_since_progress)
+      .field("wall_seconds_since_progress", diag.wall_seconds_since_progress)
+      .field("packets_generated", diag.packets_generated)
+      .field("packets_covered", diag.packets_covered)
+      .field("tx_attempts", diag.tx_attempts)
+      .field("tx_failures", diag.tx_failures)
+      .end_object();
+  out << '\n';
+}
+
+void write_health_report_file(const std::string& path,
+                              const HealthDiagnostic& diag) {
+  std::ofstream out(path);
+  if (!out) {
+    throw InvalidArgument("cannot open health report file: " + path);
+  }
+  write_health_report(out, diag);
+}
+
+WatchdogError::WatchdogError(HealthDiagnostic diag)
+    : std::runtime_error("watchdog: " + diag.invariant + ": " + diag.message),
+      diag_(std::move(diag)) {}
+
+WatchdogObserver::WatchdogObserver(const WatchdogConfig& config)
+    : config_(config), last_progress_wall_ns_(wall_now_ns()) {
+  LDCF_REQUIRE(config_.stall_wall_seconds >= 0.0,
+               "stall_wall_seconds must be non-negative");
+  LDCF_REQUIRE(config_.max_failure_rate >= 0.0 &&
+                   config_.max_failure_rate <= 1.0,
+               "max_failure_rate must be in [0, 1]");
+}
+
+double WatchdogObserver::wall_seconds_since_progress() const {
+  return static_cast<double>(wall_now_ns() - last_progress_wall_ns_) * 1e-9;
+}
+
+void WatchdogObserver::progress(SlotIndex slot) {
+  last_progress_slot_ = slot;
+  executed_since_progress_ = 0;
+  last_progress_wall_ns_ = wall_now_ns();
+}
+
+void WatchdogObserver::fail(std::string invariant, std::string message,
+                            SlotIndex slot) {
+  HealthDiagnostic diag;
+  diag.invariant = std::move(invariant);
+  diag.message = std::move(message);
+  diag.slot = slot;
+  diag.slots_since_progress = executed_since_progress_;
+  diag.wall_seconds_since_progress = wall_seconds_since_progress();
+  diag.packets_generated = generated_;
+  diag.packets_covered = covered_;
+  diag.tx_attempts = attempts_;
+  diag.tx_failures = failures_;
+  throw WatchdogError(std::move(diag));
+}
+
+void WatchdogObserver::on_slot_begin(SlotIndex slot,
+                                     std::span<const NodeId> /*active*/) {
+  current_slot_ = slot;
+  ++executed_since_progress_;
+  // The wall budget is only consulted on executed slots (an observer never
+  // hears from a truly hung stage), and checked sparsely so a watched run
+  // does not pay a clock read per slot.
+  if (config_.stall_slot_budget > 0 &&
+      executed_since_progress_ > config_.stall_slot_budget) {
+    std::ostringstream msg;
+    msg << "no progress event in " << executed_since_progress_
+        << " executed slots (budget " << config_.stall_slot_budget
+        << "); last progress at slot " << last_progress_slot_;
+    fail("stall", msg.str(), slot);
+  }
+  if (config_.stall_wall_seconds > 0.0 &&
+      (executed_since_progress_ & 0x3f) == 0) {
+    const double elapsed = wall_seconds_since_progress();
+    if (elapsed > config_.stall_wall_seconds) {
+      std::ostringstream msg;
+      msg << "no progress event in " << elapsed << " s (budget "
+          << config_.stall_wall_seconds << " s); last progress at slot "
+          << last_progress_slot_;
+      fail("stall", msg.str(), slot);
+    }
+  }
+}
+
+void WatchdogObserver::on_generate(PacketId /*packet*/, SlotIndex slot) {
+  ++generated_;
+  progress(slot);
+}
+
+void WatchdogObserver::on_tx_result(const sim::TxResult& result,
+                                    SlotIndex slot) {
+  ++attempts_;
+  switch (result.outcome) {
+    case sim::TxOutcome::kLostChannel:
+    case sim::TxOutcome::kCollision:
+    case sim::TxOutcome::kReceiverBusy:
+    case sim::TxOutcome::kSyncMiss:
+      ++failures_;
+      break;
+    default:
+      break;
+  }
+  if (config_.max_failure_rate > 0.0 && attempts_ >= config_.min_attempts) {
+    const double rate =
+        static_cast<double>(failures_) / static_cast<double>(attempts_);
+    if (rate > config_.max_failure_rate) {
+      std::ostringstream msg;
+      msg << "failure rate " << rate << " exceeds ceiling "
+          << config_.max_failure_rate << " after " << attempts_ << " attempts";
+      fail("drift", msg.str(), slot);
+    }
+  }
+}
+
+void WatchdogObserver::on_delivery(NodeId /*node*/, PacketId /*packet*/,
+                                   NodeId /*from*/, bool /*overheard*/,
+                                   SlotIndex slot) {
+  progress(slot);
+}
+
+void WatchdogObserver::on_overhear(NodeId /*listener*/, NodeId /*sender*/,
+                                   PacketId /*packet*/, bool fresh,
+                                   SlotIndex slot) {
+  if (fresh) progress(slot);
+}
+
+void WatchdogObserver::on_packet_covered(PacketId packet,
+                                         SlotIndex covered_at) {
+  if (covered_at < last_covered_at_) {
+    std::ostringstream msg;
+    msg << "packet " << packet << " covered at slot " << covered_at
+        << ", before the previous coverage at slot " << last_covered_at_;
+    fail("monotonic", msg.str(), covered_at);
+  }
+  last_covered_at_ = covered_at;
+  ++covered_;
+  progress(covered_at);
+}
+
+void WatchdogObserver::on_run_end(const sim::SimResult& result) {
+  if (!config_.check_run_end) return;
+  for (std::size_t n = 0; n < result.energy.per_node.size(); ++n) {
+    const double e = result.energy.per_node[n];
+    if (!std::isfinite(e) || e < 0.0) {
+      std::ostringstream msg;
+      msg << "node " << n << " energy is " << e
+          << " (must be finite and non-negative)";
+      fail("run_end", msg.str(), result.metrics.end_slot);
+    }
+  }
+  if (!std::isfinite(result.energy.total) || result.energy.total < 0.0) {
+    fail("run_end", "total energy is non-finite or negative",
+         result.metrics.end_slot);
+  }
+  if (config_.fail_on_truncation && result.metrics.truncated) {
+    std::ostringstream msg;
+    msg << "run truncated by max_slots at slot " << result.metrics.end_slot
+        << " with " << covered_ << "/" << generated_ << " packets covered";
+    fail("run_end", msg.str(), result.metrics.end_slot);
+  }
+}
+
+}  // namespace ldcf::obs

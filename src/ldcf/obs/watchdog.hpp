@@ -1,0 +1,123 @@
+// WatchdogObserver: live invariant monitoring for a running simulation.
+//
+// The engine's own guards (max_slots, LDCF_REQUIRE on intents) catch hard
+// misuse, but a run can still go wrong *quietly*: a protocol that keeps the
+// loop dense without ever delivering anything (a busy-loop stall), coverage
+// that stops advancing, a failure rate that drifts far past the configured
+// channel's plausibility, a truncated run nobody notices until the sweep
+// finishes. The watchdog rides the observer stream and fails fast instead,
+// throwing WatchdogError with a structured `ldcf.health.v1` diagnostic that
+// callers (flood_sim --watchdog) serialize and turn into a distinct exit
+// code.
+//
+// Invariants monitored (each individually switchable):
+//   * stall        no progress event (generation, fresh delivery, overhear,
+//                  packet coverage) within a wall-clock budget and/or an
+//                  executed-slot budget. Catches busy-loop stalls; an
+//                  in-stage hang (no hooks firing at all) is out of an
+//                  observer's reach — that is what heartbeats are for.
+//   * monotonic    covered-packet count never decreases and on_packet_covered
+//                  slots never move backwards.
+//   * drift        channel failure rate (failures / attempts) must stay
+//                  under max_failure_rate once min_attempts have resolved.
+//   * run_end      end-of-run structural checks: energy per-node values
+//                  finite and non-negative, truncation (optional).
+//
+// The watchdog never mutates simulation state; attaching it cannot change
+// results (it can only end the run early by throwing).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "ldcf/common/types.hpp"
+#include "ldcf/sim/observer.hpp"
+
+namespace ldcf::obs {
+
+struct WatchdogConfig {
+  /// Wall-clock seconds without a progress event before declaring a stall;
+  /// 0 disables the wall budget.
+  double stall_wall_seconds = 0.0;
+  /// Executed slots without a progress event before declaring a stall;
+  /// 0 disables the slot budget. Deterministic (no clock), so tests and CI
+  /// use this one.
+  std::uint64_t stall_slot_budget = 0;
+  /// Failure-rate ceiling in (0, 1]; 0 disables drift checking.
+  double max_failure_rate = 0.0;
+  /// Attempts to resolve before the drift check arms (small-sample noise).
+  std::uint64_t min_attempts = 1000;
+  /// End-of-run checks: non-finite/negative energy, and optionally treat a
+  /// truncated run (max_slots hit) as a failure.
+  bool check_run_end = true;
+  bool fail_on_truncation = false;
+};
+
+/// Structured diagnostic carried by WatchdogError and serialized as
+/// `ldcf.health.v1`.
+struct HealthDiagnostic {
+  std::string invariant;  ///< "stall" | "monotonic" | "drift" | "run_end".
+  std::string message;    ///< human-readable explanation.
+  SlotIndex slot = 0;     ///< slot the violation was detected at.
+  std::uint64_t slots_since_progress = 0;
+  double wall_seconds_since_progress = 0.0;
+  std::uint64_t packets_generated = 0;
+  std::uint64_t packets_covered = 0;
+  std::uint64_t tx_attempts = 0;
+  std::uint64_t tx_failures = 0;
+};
+
+/// Serialize one diagnostic as an `ldcf.health.v1` JSON document.
+void write_health_report(std::ostream& out, const HealthDiagnostic& diag);
+
+/// File variant; throws InvalidArgument if `path` cannot be opened.
+void write_health_report_file(const std::string& path,
+                              const HealthDiagnostic& diag);
+
+/// Thrown by WatchdogObserver when an invariant trips.
+class WatchdogError : public std::runtime_error {
+ public:
+  explicit WatchdogError(HealthDiagnostic diag);
+
+  [[nodiscard]] const HealthDiagnostic& diagnostic() const { return diag_; }
+
+ private:
+  HealthDiagnostic diag_;
+};
+
+class WatchdogObserver final : public sim::SimObserver {
+ public:
+  explicit WatchdogObserver(const WatchdogConfig& config);
+
+  void on_slot_begin(SlotIndex slot, std::span<const NodeId> active) override;
+  void on_generate(PacketId packet, SlotIndex slot) override;
+  void on_tx_result(const sim::TxResult& result, SlotIndex slot) override;
+  void on_delivery(NodeId node, PacketId packet, NodeId from, bool overheard,
+                   SlotIndex slot) override;
+  void on_overhear(NodeId listener, NodeId sender, PacketId packet, bool fresh,
+                   SlotIndex slot) override;
+  void on_packet_covered(PacketId packet, SlotIndex covered_at) override;
+  void on_run_end(const sim::SimResult& result) override;
+
+ private:
+  void progress(SlotIndex slot);
+  [[noreturn]] void fail(std::string invariant, std::string message,
+                         SlotIndex slot);
+  [[nodiscard]] double wall_seconds_since_progress() const;
+
+  WatchdogConfig config_;
+  SlotIndex current_slot_ = 0;
+  SlotIndex last_progress_slot_ = 0;
+  std::uint64_t executed_since_progress_ = 0;
+  std::uint64_t last_progress_wall_ns_ = 0;  ///< steady clock, ns.
+  SlotIndex last_covered_at_ = 0;
+  std::uint64_t generated_ = 0;
+  std::uint64_t covered_ = 0;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace ldcf::obs

@@ -1,8 +1,10 @@
 #include "ldcf/sim/channel.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "ldcf/common/error.hpp"
+#include "ldcf/obs/timeline.hpp"
 #include "ldcf/sim/worker_pool.hpp"
 
 namespace ldcf::sim {
@@ -13,6 +15,11 @@ namespace {
 // opposed to Channel::kNoIntent = no draw at all). Distinct values let the
 // apply phase count attempts without a second per-listener array.
 constexpr std::uint32_t kOverhearLost = 0xfffffffeU;
+
+// Which Timeline this worker thread last labeled its lane for: labeling
+// takes the registry mutex, so do it once per (thread, timeline), not once
+// per slot.
+thread_local const obs::Timeline* t_labeled_for = nullptr;
 
 }  // namespace
 
@@ -79,11 +86,30 @@ void Channel::resolve(std::span<const TxIntent> intents,
   if (intents.empty()) return;
   out.results.reserve(intents.size());
 
+  // Phase spans are recorded by hand (start captured here, record at the
+  // phase boundary) because the three phases are not brace-nested scopes.
+  obs::Timeline* const tl = config.timeline;
+  const auto phase_span = [&](const char* name, std::uint64_t start_ns,
+                              std::uint64_t items) {
+    if (tl == nullptr) return;
+    obs::SpanRecord span;
+    span.name = name;
+    span.category = "channel";
+    span.start_ns = start_ns;
+    span.dur_ns = tl->now_ns() - start_ns;
+    span.arg0_name = "slot";
+    span.arg0 = slot;
+    span.arg1_name = "items";
+    span.arg1 = items;
+    tl->lane().record_span(span);
+  };
+
   // ---- Phase 1: gather. Classify every intent, run the RNG-free channel
   // rules (busy / collision / capture), and collect each pending Bernoulli
   // draw into the flat SoA batch. No randomness is consumed here, so the
   // phase split cannot move a draw relative to the legacy interleaved loop.
   const std::uint64_t gather_t0 = profiler ? profiler->now() : 0;
+  const std::uint64_t gather_ns0 = tl ? tl->now_ns() : 0;
 
   for (const TxIntent& intent : intents) {
     LDCF_CHECK(!transmitting_[intent.sender],
@@ -214,6 +240,7 @@ void Channel::resolve(std::span<const TxIntent> intents,
   uni_bits_.assign(n_words, 0);
 
   if (profiler) profiler->add(Stage::kChannelGather, gather_t0);
+  phase_span("channel_gather", gather_ns0, intents.size());
 
   // Decodability and draw probability for one listener: a pure function of
   // the phase-1 scratch (or a read-only intent scan), so it is safe to
@@ -272,6 +299,7 @@ void Channel::resolve(std::span<const TxIntent> intents,
 
   // ---- Phase 2: realize the draws.
   const std::uint64_t draw_t0 = profiler ? profiler->now() : 0;
+  const std::uint64_t draw_ns0 = tl ? tl->now_ns() : 0;
 
   if (config.rng_mode == ChannelRngMode::kSequential) {
     // Historical order on the shared stream: unicast draws in intent order,
@@ -294,6 +322,14 @@ void Channel::resolve(std::span<const TxIntent> intents,
     // Workers own disjoint bitset words (64-draw aligned chunks) and
     // disjoint listener ranges; no output location is shared.
     const auto keyed_phase = [&](std::uint32_t worker, std::uint32_t workers) {
+      // Helper-thread lanes get a stable pool-N label (worker 0 is the
+      // caller — already labeled by the engine).
+      if (tl != nullptr && worker != 0 && t_labeled_for != tl) {
+        tl->label_current_thread("pool-" + std::to_string(worker));
+        t_labeled_for = tl;
+      }
+      obs::TimelineSpan chunk_span(tl, "channel_draw_chunk", "pool", "worker",
+                                   worker, "slot", slot);
       const auto [wb, we] = WorkerPool::chunk(n_words, worker, workers, 1);
       for (std::size_t w = wb; w < we; ++w) {
         std::uint64_t bits = 0;
@@ -330,12 +366,14 @@ void Channel::resolve(std::span<const TxIntent> intents,
   }
 
   if (profiler) profiler->add(Stage::kChannelDraw, draw_t0);
+  phase_span("channel_draw", draw_ns0, n_uni + n_listen);
 
   // ---- Phase 3: apply, serially and in fixed index order (the reduce
   // discipline that makes the threaded draw phase bit-identical to the
   // serial one): patch unicast winners, then append overhears in ascending
   // listener order.
   const std::uint64_t apply_t0 = profiler ? profiler->now() : 0;
+  const std::uint64_t apply_ns0 = tl ? tl->now_ns() : 0;
 
   for (std::size_t d = 0; d < n_uni; ++d) {
     if ((uni_bits_[d >> 6] >> (d & 63)) & 1ULL) {
@@ -355,6 +393,7 @@ void Channel::resolve(std::span<const TxIntent> intents,
   last_draw_count_ = n_uni + overhear_draws;
 
   if (profiler) profiler->add(Stage::kChannelApply, apply_t0);
+  phase_span("channel_apply", apply_ns0, n_uni + overhear_draws);
 }
 
 SlotResolution resolve_slot(const topology::Topology& topo,

@@ -30,6 +30,10 @@
 #include "ldcf/sim/profiler.hpp"
 #include "ldcf/topology/topology.hpp"
 
+namespace ldcf::obs {
+class Timeline;  // obs/timeline.hpp; the kernel only carries the pointer.
+}
+
 namespace ldcf::sim {
 
 class WorkerPool;
@@ -67,6 +71,11 @@ struct ChannelConfig {
   /// draws commute); kSequential ignores this and stays serial. Values
   /// <= 1 mean no helper threads.
   std::uint32_t threads = 1;
+  /// Span timeline, or nullptr for none. When attached, resolve records
+  /// channel_gather/channel_draw/channel_apply phase spans on the calling
+  /// thread and a channel_draw_chunk span per WorkerPool worker. Purely
+  /// observational; never affects draws or results.
+  obs::Timeline* timeline = nullptr;
 };
 
 /// One successful overhear: `listener` decoded `packet` sent by `sender`.

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "ldcf/common/error.hpp"
+#include "ldcf/obs/timeline.hpp"
 
 namespace ldcf::sim {
 
@@ -183,6 +184,7 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
       config_.channel_threads == 0
           ? std::max(1u, std::thread::hardware_concurrency())
           : config_.channel_threads;
+  channel_config_.timeline = config_.timeline;
   possession_.reset();
   dead_.assign(topo_.num_nodes(), 0);
   next_death_ = 0;
@@ -212,15 +214,22 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
   const bool use_compact =
       config_.compact_time &&
       (observer == nullptr || !observer->wants_every_slot());
+  obs::Timeline* const tl = config_.timeline;
+  if (tl != nullptr) tl->label_current_thread("engine");
+  // Whole-run umbrella span: closes when run() returns, so it brackets the
+  // slot loop plus the end-of-run settlement.
+  obs::TimelineSpan run_span(tl, "run", "engine");
   const std::uint64_t run_t0 = profiler_.now();
   SlotIndex t = 0;
   while (covered_count_ < config_.num_packets && t < config_.max_slots) {
     if (use_compact) {
       StageProfiler::Scope timed(profiler_, Stage::kCompact);
+      obs::TimelineSpan span(tl, "compact", "engine", "slot", t);
       const SlotIndex next = next_event_slot(t);
       if (next > t) {
         const SlotIndex stop = std::min(next, config_.max_slots);
         fast_forward(t, stop);
+        span.arg1("skipped", stop - t);
         t = stop;
         continue;
       }
@@ -228,20 +237,25 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
     std::span<const NodeId> active;
     {
       StageProfiler::Scope timed(profiler_, Stage::kFaults);
+      obs::TimelineSpan span(tl, "faults", "engine", "slot", t);
       stage_faults(t);
       active = stage_active(t);
     }
     notify([&](auto& o) { o.on_slot_begin(t, active); });
     {
       StageProfiler::Scope timed(profiler_, Stage::kGeneration);
+      obs::TimelineSpan span(tl, "generation", "engine", "slot", t);
       stage_generation(t);
     }
     {
       StageProfiler::Scope timed(profiler_, Stage::kIntents);
+      obs::TimelineSpan span(tl, "intents", "engine", "slot", t, "active",
+                             active.size());
       stage_intents(t, active);
     }
     {
       StageProfiler::Scope timed(profiler_, Stage::kSyncMiss);
+      obs::TimelineSpan span(tl, "sync_miss", "engine", "slot", t);
       stage_sync_miss();
     }
     // Not wrapped in a kChannel scope: the kernel times its own
@@ -250,15 +264,30 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
     stage_channel(t, active);
     {
       StageProfiler::Scope timed(profiler_, Stage::kEnergy);
+      obs::TimelineSpan span(tl, "energy", "engine", "slot", t);
       stage_energy(active);
     }
     {
       StageProfiler::Scope timed(profiler_, Stage::kApply);
+      obs::TimelineSpan span(tl, "apply", "engine", "slot", t, "results",
+                             ws_.resolution.results.size());
       stage_apply(t);
     }
     {
       StageProfiler::Scope timed(profiler_, Stage::kCoverage);
+      obs::TimelineSpan span(tl, "coverage", "engine", "slot", t);
       stage_coverage(t);
+    }
+    // Engine-level counter tracks: sampled every executed slot (cheap, and
+    // slots are where anything changes). Registry-backed tracks come from
+    // obs::TimelineMetricsObserver.
+    if (tl != nullptr) {
+      tl->counter("engine.packets_covered",
+                  static_cast<double>(covered_count_));
+      tl->counter("engine.packets_in_flight",
+                  static_cast<double>(uncovered_.size()));
+      tl->counter("engine.tx_attempts",
+                  static_cast<double>(collector.metrics.channel.attempts));
     }
     ++t;
   }
@@ -389,6 +418,8 @@ void SimEngine::stage_channel(SlotIndex t, std::span<const NodeId> active) {
   channel_.resolve(ws_.intents, active, t, channel_config_, channel_rng_,
                    ws_.resolution, &profiler_);
   StageProfiler::Scope timed(profiler_, Stage::kChannel);
+  obs::TimelineSpan span(config_.timeline, "channel", "engine", "slot", t,
+                         "intents", ws_.intents.size());
   for (const TxIntent& intent : ws_.sync_missed) {
     TxResult missed;
     missed.intent = intent;

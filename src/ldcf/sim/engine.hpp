@@ -35,6 +35,10 @@
 #include "ldcf/sim/profiler.hpp"
 #include "ldcf/topology/topology.hpp"
 
+namespace ldcf::obs {
+class Timeline;  // obs/timeline.hpp; sim depends only on the pointer.
+}
+
 namespace ldcf::sim {
 
 struct SimConfig {
@@ -76,6 +80,13 @@ struct SimConfig {
   /// that demand every slot (wants_every_slot) override this to dense for
   /// that run.
   bool compact_time = true;
+  /// Span timeline collector (obs/timeline.hpp), or nullptr for none. When
+  /// attached, every executed stage records a span named after its
+  /// profiler stage, and the channel kernel records its gather/draw/apply
+  /// phases (plus per-worker chunks) on the worker threads. Like
+  /// `profiling`, tracing never affects simulation results: off means a
+  /// null-pointer check per stage, zero clock reads, zero allocation.
+  obs::Timeline* timeline = nullptr;
 };
 
 struct SimResult {

@@ -285,9 +285,15 @@ TEST(Experiment, ProgressCallbackSeesEveryCompletion) {
   config.repetitions = 3;
   config.threads = 2;
   std::vector<std::size_t> seen;
-  config.progress = [&seen](std::size_t completed, std::size_t total) {
-    EXPECT_EQ(total, 3u);
-    seen.push_back(completed);
+  config.progress = [&seen](const Progress& p) {
+    EXPECT_EQ(p.total, 3u);
+    EXPECT_GE(p.elapsed_seconds, 0.0);
+    EXPECT_GE(p.tasks_per_sec, 0.0);
+    if (p.completed == p.total) {
+      // Nothing left: the executor reports no ETA for a finished batch.
+      EXPECT_EQ(p.eta_seconds, 0.0);
+    }
+    seen.push_back(p.completed);
   };
   (void)run_point(topo, "opt", DutyCycle{10}, config);
   EXPECT_EQ(seen, (std::vector<std::size_t>{1, 2, 3}));

@@ -225,5 +225,50 @@ TEST(Histogram, QuantileIsNearestRankOnUnitBins) {
   EXPECT_DOUBLE_EQ(h.quantile(7.0), 100.0);
 }
 
+TEST(Histogram, InterpolatedQuantileLandsInsideTheBin) {
+  // 10 samples in one [0, 10) bin: rank q*10 interpolates linearly.
+  HistogramOptions options;
+  options.bin_width = 10.0;
+  options.max_bins = 4;
+  Histogram h(options);
+  for (int i = 0; i < 10; ++i) h.record(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile_interp(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile_interp(0.9), 9.0);
+  EXPECT_DOUBLE_EQ(h.quantile_interp(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile_interp(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile_interp(0.0), 0.0);
+}
+
+TEST(Histogram, InterpolatedQuantileConvergesOnUniformSamples) {
+  // Samples 0..99 on unit bins: the estimator tracks the exact quantile.
+  Histogram h(narrow(128));
+  for (int v = 0; v < 100; ++v) h.record(v);
+  EXPECT_NEAR(h.quantile_interp(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile_interp(0.90), 90.0, 1.0);
+  EXPECT_NEAR(h.quantile_interp(0.99), 99.0, 1.0);
+  // The interpolated value sits inside the nearest-rank quantile's bin.
+  for (const double q : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double coarse = h.quantile(q);
+    const double interp = h.quantile_interp(q);
+    EXPECT_GE(interp, coarse) << q;
+    EXPECT_LE(interp, coarse + h.bin_width()) << q;
+  }
+}
+
+TEST(Histogram, InterpolatedQuantileSkipsEmptyBins) {
+  Histogram h(narrow(64));
+  for (int i = 0; i < 4; ++i) h.record(2.5);   // bin [2, 3).
+  for (int i = 0; i < 4; ++i) h.record(40.5);  // bin [40, 41).
+  // Median rank 4 completes inside the first occupied bin.
+  EXPECT_DOUBLE_EQ(h.quantile_interp(0.5), 3.0);
+  // p99 rank 7.92 sits 3.92/4 into the second occupied bin.
+  EXPECT_DOUBLE_EQ(h.quantile_interp(0.99), 40.0 + (7.92 - 4.0) / 4.0);
+}
+
+TEST(Histogram, InterpolatedQuantileOfEmptyHistogramIsZero) {
+  Histogram h(narrow(8));
+  EXPECT_DOUBLE_EQ(h.quantile_interp(0.5), 0.0);
+}
+
 }  // namespace
 }  // namespace ldcf::obs

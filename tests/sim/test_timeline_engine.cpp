@@ -1,0 +1,217 @@
+// Timeline <-> engine contract tests.
+//
+//  * Attaching a Timeline must not move a single RNG draw: every registered
+//    protocol's run with tracing on is bit-identical to the bare run.
+//  * Spans and the stage profiler must agree: per-stage span-duration sums
+//    track the profiler's stage totals (same code bracketed by two clocks).
+//  * The engine emits its builtin counter tracks, and the keyed channel
+//    kernel records per-worker draw-chunk spans.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ldcf/obs/timeline.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/channel.hpp"
+#include "ldcf/sim/engine.hpp"
+#include "ldcf/sim/profiler.hpp"
+#include "ldcf/sim/simulator.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace {
+
+using namespace ldcf;
+
+topology::Topology small_topology() {
+  topology::ClusterConfig config;
+  config.base.num_sensors = 60;
+  config.base.area_side_m = 260.0;
+  config.base.radio.path_loss_exponent = 3.3;
+  config.base.seed = 5;
+  config.num_clusters = 6;
+  config.cluster_sigma_m = 30.0;
+  return topology::make_clustered(config);
+}
+
+sim::SimConfig base_config() {
+  sim::SimConfig config;
+  config.num_packets = 12;
+  config.duty = DutyCycle{10};
+  config.seed = 3;
+  config.max_slots = 2'000'000;
+  return config;
+}
+
+void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.metrics.end_slot, b.metrics.end_slot);
+  EXPECT_EQ(a.metrics.all_covered, b.metrics.all_covered);
+  EXPECT_EQ(a.metrics.channel.attempts, b.metrics.channel.attempts);
+  EXPECT_EQ(a.metrics.channel.delivered, b.metrics.channel.delivered);
+  EXPECT_EQ(a.metrics.channel.duplicates, b.metrics.channel.duplicates);
+  EXPECT_EQ(a.metrics.channel.losses, b.metrics.channel.losses);
+  EXPECT_EQ(a.metrics.channel.collisions, b.metrics.channel.collisions);
+  EXPECT_EQ(a.metrics.channel.overhear_deliveries,
+            b.metrics.channel.overhear_deliveries);
+  ASSERT_EQ(a.metrics.packets.size(), b.metrics.packets.size());
+  for (std::size_t p = 0; p < a.metrics.packets.size(); ++p) {
+    EXPECT_EQ(a.metrics.packets[p].covered_at, b.metrics.packets[p].covered_at);
+    EXPECT_EQ(a.metrics.packets[p].deliveries, b.metrics.packets[p].deliveries);
+  }
+  EXPECT_EQ(a.energy.total, b.energy.total);  // bitwise, not NEAR.
+  EXPECT_EQ(a.energy.max_node, b.energy.max_node);
+}
+
+// Determinism contract: tracing on == tracing off, bit-for-bit, for every
+// registered protocol (the timeline-off side of the same runs is pinned
+// against the golden fingerprints in test_golden_metrics.cpp).
+TEST(TimelineEngine, TracingOnIsBitIdenticalForEveryProtocol) {
+  const topology::Topology topo = small_topology();
+  for (const std::string& name : protocols::protocol_names()) {
+    SCOPED_TRACE(name);
+    sim::SimConfig bare = base_config();
+    const auto proto_bare = protocols::make_protocol(name);
+    const sim::SimResult off = sim::run_simulation(topo, bare, *proto_bare);
+
+    obs::Timeline timeline;
+    sim::SimConfig traced = base_config();
+    traced.timeline = &timeline;
+    const auto proto_traced = protocols::make_protocol(name);
+    const sim::SimResult on = sim::run_simulation(topo, traced, *proto_traced);
+
+    expect_identical(off, on);
+    EXPECT_GE(timeline.num_lanes(), 1u);
+  }
+}
+
+// Spans and the stage profiler bracket the same code with the same steady
+// clock, so per-stage span sums must track the profiler's totals. Spans sit
+// inside the profiler scopes, so sums can only run under — never over by
+// more than jitter. Generous envelope: each stage's span sum within
+// [25%, 110%] of its profiler total, and only for stages big enough that
+// scheduling noise cannot dominate.
+TEST(TimelineEngine, SpanSumsTrackProfilerStageTotals) {
+  const topology::Topology topo = small_topology();
+  obs::Timeline timeline;
+  sim::SimConfig config = base_config();
+  config.profiling = true;
+  config.timeline = &timeline;
+  const auto proto = protocols::make_protocol("dbao");
+  const sim::SimResult res = sim::run_simulation(topo, config, *proto);
+  ASSERT_TRUE(res.profile.enabled);
+
+  std::map<std::string, std::uint64_t> span_ns;
+  std::map<std::string, std::uint64_t> span_count;
+  for (const auto& lane : timeline.snapshot()) {
+    EXPECT_EQ(lane.dropped_spans, 0u) << "ring too small for this run";
+    for (const auto& span : lane.spans) {
+      span_ns[span.name] += span.dur_ns;
+      ++span_count[span.name];
+    }
+  }
+
+  std::size_t compared = 0;
+  for (std::size_t s = 0; s < sim::kNumStages; ++s) {
+    const std::string name(sim::kStageNames[s]);
+    const std::uint64_t profiler_total = res.profile.stage_ns[s];
+    if (profiler_total < 200'000) continue;  // < 0.2 ms: noise-dominated.
+    ASSERT_TRUE(span_ns.count(name) != 0)
+        << "stage " << name << " has profiler time but no spans";
+    // Spans nest inside the profiler scope, so its total can never run
+    // meaningfully over the profiler's.
+    const double ratio = static_cast<double>(span_ns[name]) /
+                         static_cast<double>(profiler_total);
+    EXPECT_LT(ratio, 1.10) << name;
+    // The ratio floor only holds where real work dominates the span's own
+    // clock-read overhead (~50 ns/call): skip stages whose per-call
+    // profiler mean is in the overhead regime.
+    const std::uint64_t mean_ns = profiler_total / span_count[name];
+    if (mean_ns < 500) continue;
+    EXPECT_GT(ratio, 0.25) << name;
+    ++compared;
+  }
+  EXPECT_GE(compared, 1u) << "run too fast to compare any stage";
+
+  // Every executed-stage span name the profiler knows should have showed
+  // up at least once (compact only when fast-forwarding happened).
+  for (const char* name : {"faults", "generation", "intents", "sync_miss",
+                           "channel", "energy", "apply", "coverage"}) {
+    EXPECT_TRUE(span_ns.count(name) != 0) << name;
+  }
+}
+
+TEST(TimelineEngine, EngineEmitsBuiltinCounterTracks) {
+  const topology::Topology topo = small_topology();
+  obs::Timeline timeline;
+  sim::SimConfig config = base_config();
+  config.timeline = &timeline;
+  const auto proto = protocols::make_protocol("opt");
+  (void)sim::run_simulation(topo, config, *proto);
+
+  std::set<std::string> tracks;
+  double final_covered = -1.0;
+  for (const auto& lane : timeline.snapshot()) {
+    for (const auto& counter : lane.counters) {
+      tracks.insert(counter.track);
+      if (std::string(counter.track) == "engine.packets_covered") {
+        final_covered = counter.value;
+      }
+    }
+  }
+  EXPECT_TRUE(tracks.count("engine.packets_covered") != 0);
+  EXPECT_TRUE(tracks.count("engine.packets_in_flight") != 0);
+  EXPECT_TRUE(tracks.count("engine.tx_attempts") != 0);
+  EXPECT_DOUBLE_EQ(final_covered, 12.0) << "last sample = all covered";
+}
+
+// The keyed kernel's draw phase records one channel_draw_chunk span per
+// worker. Drive Channel::resolve directly with a synthetic slot large
+// enough to clear the kMinParallelItems gate so the pool engages.
+TEST(TimelineEngine, KeyedDrawPhaseRecordsPerWorkerChunkSpans) {
+  const std::uint32_t kNodes = 600;
+  const topology::Topology topo = topology::make_complete(kNodes, 0.5);
+  obs::Timeline timeline;
+
+  std::vector<sim::TxIntent> intents;
+  std::vector<NodeId> receivers;
+  for (NodeId n = 0; n < kNodes / 2; ++n) {
+    intents.push_back(sim::TxIntent{n, static_cast<NodeId>(kNodes / 2 + n), 0});
+    receivers.push_back(static_cast<NodeId>(kNodes / 2 + n));
+  }
+
+  sim::ChannelConfig config;
+  config.rng_mode = sim::ChannelRngMode::kSlotKeyed;
+  config.keyed_seed = 99;
+  config.threads = 3;
+  config.timeline = &timeline;
+
+  sim::Channel channel(topo);
+  Rng rng(1);
+  sim::SlotResolution out;
+  channel.resolve(intents, receivers, /*slot=*/17, config, rng, out);
+
+  std::set<std::uint64_t> workers;
+  std::size_t phase_spans = 0;
+  for (const auto& lane : timeline.snapshot()) {
+    for (const auto& span : lane.spans) {
+      const std::string name = span.name;
+      if (name == "channel_draw_chunk") {
+        EXPECT_STREQ(span.category, "pool");
+        EXPECT_STREQ(span.arg0_name, "worker");
+        EXPECT_EQ(span.arg1, 17u);  // the slot arg.
+        workers.insert(span.arg0);
+      } else if (name == "channel_gather" || name == "channel_draw" ||
+                 name == "channel_apply") {
+        ++phase_spans;
+      }
+    }
+  }
+  EXPECT_EQ(workers, (std::set<std::uint64_t>{0, 1, 2}))
+      << "one chunk span per pool worker";
+  EXPECT_EQ(phase_spans, 3u) << "gather/draw/apply once each";
+}
+
+}  // namespace
