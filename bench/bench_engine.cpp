@@ -9,6 +9,7 @@
 // Env knobs: LDCF_BENCH_PACKETS (default 60), LDCF_BENCH_REPS (default 3,
 // best-of), LDCF_ENGINE_DUTY_PCT (default 5), LDCF_BENCH_REPORT (JSON
 // output path, default BENCH_engine.json; empty disables it).
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -19,6 +20,7 @@
 #include "bench_common.hpp"
 #include "ldcf/analysis/table.hpp"
 #include "ldcf/obs/report.hpp"
+#include "ldcf/obs/timeseries.hpp"
 #include "ldcf/protocols/registry.hpp"
 #include "ldcf/sim/channel.hpp"
 #include "ldcf/sim/simulator.hpp"
@@ -32,6 +34,9 @@ struct BenchRow {
   std::uint64_t attempts = 0;
   double best_seconds = 0.0;
   double slots_per_sec = 0.0;
+  /// Only on the series_overhead row: observed/bare slot throughput with
+  /// the windowed telemetry observer attached (1.0 = free, floor in CI).
+  double series_speed_ratio = 0.0;
 };
 
 // One channel-kernel measurement: `draws` realized Bernoulli draws across
@@ -50,6 +55,12 @@ struct ChannelRow {
 constexpr std::uint32_t kChannelHubs = 32;
 constexpr std::uint32_t kChannelLeaves = 511;
 constexpr std::uint32_t kChannelSlots = 200;
+
+/// Median of a sample set (copies, then sorts; upper median for even n).
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
 
 ldcf::topology::Topology make_star_forest() {
   using namespace ldcf;
@@ -142,8 +153,11 @@ void write_bench_report(const std::string& path,
         .field("slots", row.slots)
         .field("attempts", row.attempts)
         .field("best_seconds", row.best_seconds)
-        .field("slots_per_sec", row.slots_per_sec)
-        .end_object();
+        .field("slots_per_sec", row.slots_per_sec);
+    if (row.series_speed_ratio > 0.0) {
+      json.field("series_speed_ratio", row.series_speed_ratio);
+    }
+    json.end_object();
   }
   for (const ChannelRow& row : channel_rows) {
     json.begin_object()
@@ -219,6 +233,68 @@ int main() {
     }
   }
   table.print(std::cout);
+
+  // Series-observer overhead segment: the slot-loop-heavy "of" workload
+  // with and without the windowed telemetry observer, interleaved best-of
+  // pairs so machine noise hits both sides alike. The observer is counter
+  // increments on an already-fired event stream plus closed-form gap
+  // settlement, so the loop must stay within a few percent of the bare
+  // run — series_speed_ratio (observed/bare slots per second, best-of) is
+  // the number the CI floor holds.
+  {
+    const std::uint32_t overhead_reps = reps < 5 ? 5 : reps;
+    std::vector<double> bare_times;
+    std::vector<double> observed_times;
+    sim::SimResult result;
+    for (std::uint32_t rep = 0; rep < overhead_reps; ++rep) {
+      {
+        const auto proto = protocols::make_protocol("of");
+        const auto start = Clock::now();
+        result = sim::run_simulation(topo, config, *proto);
+        const std::chrono::duration<double> elapsed = Clock::now() - start;
+        bare_times.push_back(elapsed.count());
+      }
+      {
+        const auto proto = protocols::make_protocol("of");
+        obs::TimeSeriesOptions series_options;
+        series_options.energy = config.energy;
+        obs::TimeSeriesObserver series(topo, series_options);
+        const auto start = Clock::now();
+        result = sim::run_simulation(topo, config, *proto, &series);
+        const std::chrono::duration<double> elapsed = Clock::now() - start;
+        observed_times.push_back(elapsed.count());
+      }
+    }
+    // Machine noise (scheduler preemption, thermal drift) swamps a
+    // single-digit-percent delta on absolute times. Each interleaved pair
+    // is measured back to back, so its bare/observed ratio cancels drift;
+    // the median over pairs then discards spike-contaminated pairs.
+    std::vector<double> pair_ratios(overhead_reps);
+    for (std::uint32_t rep = 0; rep < overhead_reps; ++rep) {
+      pair_ratios[rep] = bare_times[rep] / observed_times[rep];
+    }
+    std::sort(pair_ratios.begin(), pair_ratios.end());
+    const double median_ratio = pair_ratios[overhead_reps / 2];
+    const double observed_median =
+        median(observed_times);  // sorts its copy.
+    BenchRow row;
+    row.protocol = "series_overhead";
+    row.slots = result.metrics.end_slot;
+    row.attempts = result.metrics.channel.attempts;
+    row.best_seconds = observed_median;
+    row.slots_per_sec =
+        static_cast<double>(result.metrics.end_slot) / observed_median;
+    row.series_speed_ratio = median_ratio;
+    std::cout << "\n=== Series-observer overhead (of + TimeSeriesObserver, "
+              << overhead_reps << " interleaved pairs, median ratio) ===\n"
+              << "observed " << static_cast<std::uint64_t>(row.slots_per_sec)
+              << " slots/sec vs bare "
+              << static_cast<std::uint64_t>(
+                     static_cast<double>(result.metrics.end_slot) /
+                     median(bare_times))
+              << " -> ratio " << row.series_speed_ratio << "\n";
+    rows.push_back(row);
+  }
 
   // Channel-kernel segment: the same saturated star-forest slot resolved
   // under each draw realization. Draw counts are identical by construction

@@ -67,6 +67,20 @@
 //                        proposing transmissions at SLOT while claiming
 //                        every slot busy — a dense busy-loop stall the
 //                        watchdog must catch (single-run mode only)
+//     --series PATH      record windowed simulation-time telemetry (coverage
+//                        growth, tx outcomes, duplicate/overhear activity,
+//                        energy burn) and write an ldcf.timeseries.v1 JSON
+//                        artifact to PATH; never forces the dense path, and
+//                        with --reps the windows merge across seeds. Feeds
+//                        anomaly causes into a tripped --watchdog diagnostic.
+//                        Render it with the series_view tool
+//     --netmap PATH      write the companion ldcf.netmap.v1 hot-spot map
+//                        (spatial heatmap cells, top-K contended links,
+//                        hottest nodes); implies series collection
+//     --window-slots N   accumulation window width in slots for --series
+//                        (default 1024; must be >= 1)
+//     --top-k K          rows in the netmap's contended-links and hottest-
+//                        nodes tables (default 10; 1..65536)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -85,6 +99,7 @@
 #include "ldcf/obs/report.hpp"
 #include "ldcf/obs/stats_observer.hpp"
 #include "ldcf/obs/timeline.hpp"
+#include "ldcf/obs/timeseries.hpp"
 #include "ldcf/obs/trace_analysis.hpp"
 #include "ldcf/obs/watchdog.hpp"
 #include "ldcf/protocols/registry.hpp"
@@ -225,6 +240,9 @@ int run_cli(int argc, char** argv) {
   std::string watchdog_report_path;  // ldcf.health.v1 JSON on a trip.
   ldcf::obs::WatchdogConfig watchdog_config;
   bool watchdog_enabled = false;
+  std::string series_path;  // ldcf.timeseries.v1 JSON (obs/timeseries.hpp).
+  std::string netmap_path;  // ldcf.netmap.v1 JSON (obs/timeseries.hpp).
+  ldcf::obs::TimeSeriesOptions series_options;
   std::optional<SlotIndex> inject_stall;
   bool show_progress = false;
   bool analyze = false;
@@ -268,6 +286,14 @@ int run_cli(int argc, char** argv) {
       watchdog_enabled = true;
     } else if (arg == "--watchdog-report") {
       watchdog_report_path = next();
+    } else if (arg == "--series") {
+      series_path = next();
+    } else if (arg == "--netmap") {
+      netmap_path = next();
+    } else if (arg == "--window-slots") {
+      series_options.window_slots = parse_u64(next());
+    } else if (arg == "--top-k") {
+      series_options.top_k = static_cast<std::uint32_t>(parse_u64(next()));
     } else if (arg == "--inject-stall") {
       inject_stall = parse_u64(next());
     } else if (arg == "--progress") {
@@ -348,6 +374,9 @@ int run_cli(int argc, char** argv) {
     }
   }
   config.duty = DutyCycle::from_ratio(duty_pct / 100.0);
+  // --netmap implies series collection (one observer produces both).
+  const bool collect_series = !series_path.empty() || !netmap_path.empty();
+  if (collect_series) obs::validate(series_options);  // fail before the run.
   // A report without profiler timings is half a report: turn the stage
   // profiler on for reported runs (it never changes results, only adds
   // two clock reads per stage per slot).
@@ -387,9 +416,24 @@ int run_cli(int argc, char** argv) {
               if (generator == "disk") {
                 return topology::make_uniform_disk(gen);
               }
-              usage_error("unknown --generator " + generator);
+              usage_error("unknown --generator " + generator +
+                          " (wants clustered|uniform|grid|disk)");
             }()
           : topology::read_trace_file(topo_path);
+
+  const auto write_series_artifacts = [&](const obs::TimeSeries& series,
+                                          const obs::NetMap& netmap) {
+    obs::SeriesReportContext ctx;
+    ctx.tool = "flood_sim";
+    ctx.protocol = protocol;
+    ctx.topo = &topo;
+    ctx.series = &series;
+    ctx.netmap = &netmap;
+    if (!series_path.empty()) {
+      obs::write_timeseries_report_file(series_path, ctx);
+    }
+    if (!netmap_path.empty()) obs::write_netmap_report_file(netmap_path, ctx);
+  };
 
   // One Timeline shared by everything the run spawns (engine thread, pool
   // workers, trial workers): each records into its own lane.
@@ -412,6 +456,8 @@ int run_cli(int argc, char** argv) {
     experiment.heartbeat_path = heartbeat_path;
     experiment.heartbeat_seconds = heartbeat_seconds;
     if (watchdog_enabled) experiment.watchdog = watchdog_config;
+    experiment.collect_series = collect_series;
+    experiment.series = series_options;
     if (show_progress) experiment.progress = make_progress_printer();
     analysis::ProtocolPoint point;
     try {
@@ -421,6 +467,9 @@ int run_cli(int argc, char** argv) {
       return report_watchdog_trip(error, watchdog_report_path);
     }
     if (timeline) timeline->write_chrome_trace_file(timeline_path);
+    if (collect_series) {
+      write_series_artifacts(point.timeseries, point.netmap);
+    }
     std::cout << "protocol " << point.protocol << " on " << topo.num_sensors()
               << " sensors, duty " << 100.0 * config.duty.ratio() << "% x"
               << config.slots_per_period << ", M = " << config.num_packets
@@ -468,8 +517,20 @@ int run_cli(int argc, char** argv) {
     fan_out.add(&heartbeat.emplace(*heartbeat_writer, 0, protocol,
                                    config.num_packets, heartbeat_seconds));
   }
+  // The series observer precedes the watchdog so a tripped invariant sees
+  // up-to-date windows when it snapshots current_causes().
+  std::optional<obs::TimeSeriesObserver> series;
+  if (collect_series) {
+    obs::TimeSeriesOptions run_series = series_options;
+    run_series.energy = config.energy;
+    series.emplace(topo, run_series);
+    fan_out.add(&*series);
+  }
   std::optional<obs::WatchdogObserver> watchdog;
-  if (watchdog_enabled) fan_out.add(&watchdog.emplace(watchdog_config));
+  if (watchdog_enabled) {
+    fan_out.add(&watchdog.emplace(watchdog_config));
+    if (series) watchdog->set_cause_source(&*series);
+  }
   std::optional<obs::FlightRecorder> recorder;
   if (analyze) fan_out.add(&recorder.emplace());
   sim::SimResult result;
@@ -481,6 +542,7 @@ int run_cli(int argc, char** argv) {
     return report_watchdog_trip(error, watchdog_report_path);
   }
   if (timeline) timeline->write_chrome_trace_file(timeline_path);
+  if (series) write_series_artifacts(series->series(), series->netmap());
   if (!report_path.empty()) {
     obs::RunReportContext report;
     report.tool = "flood_sim";
@@ -489,6 +551,10 @@ int run_cli(int argc, char** argv) {
     report.config = &config;
     report.result = &result;
     report.metrics = &stats->registry();
+    if (series) {
+      report.timeseries = &series->series();
+      report.netmap = &series->netmap();
+    }
     report.wall_seconds = wall_seconds();
     obs::write_run_report_file(report_path, report);
   }

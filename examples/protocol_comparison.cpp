@@ -5,7 +5,8 @@
 //
 //   ./protocol_comparison [--report PATH] [--channel-rng seq|keyed]
 //                         [--channel-threads N] [--heartbeat PATH]
-//                         [--watchdog SECONDS] [duty_percent] [num_packets]
+//                         [--watchdog SECONDS] [--series]
+//                         [duty_percent] [num_packets]
 //                         [seed] [threads] [event_trace_path]
 //
 // All protocols run as one parallel sweep (threads: 0 = all cores,
@@ -21,6 +22,10 @@
 // ldcf.heartbeat.v1 JSONL liveness records for every trial; --watchdog
 // attaches a stall watchdog (S wall-clock seconds without progress aborts
 // the sweep with an ldcf.health.v1 diagnostic on stderr and exit code 3).
+// --series collects windowed simulation-time telemetry for every trial
+// (merged per protocol across repetitions): a per-protocol summary prints
+// after the table, and with --report each point gains "timeseries" and
+// "netmap" sections in the sweep document.
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -42,6 +47,7 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::string heartbeat_path;
   double watchdog_seconds = 0.0;
+  bool collect_series = false;
   sim::ChannelRngMode channel_rng = sim::ChannelRngMode::kSequential;
   std::uint32_t channel_threads = 1;
   std::vector<char*> positional;
@@ -80,6 +86,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       watchdog_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--series") == 0) {
+      collect_series = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -119,6 +127,7 @@ int main(int argc, char** argv) {
     watchdog.stall_wall_seconds = watchdog_seconds;
     config.watchdog = watchdog;
   }
+  config.collect_series = collect_series;
   if (!report_path.empty()) config.base.profiling = true;
 
   // One sweep call: every protocol's trial runs concurrently.
@@ -152,6 +161,23 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nExpected ordering (paper Fig. 9/10): opt < dbao < of << "
                "naive.\n";
+  if (collect_series) {
+    std::cout << "\nSeries telemetry per protocol:\n";
+    for (const auto& point : points) {
+      const auto& ts = point.timeseries;
+      const auto links = point.netmap.top_links();
+      std::cout << "  " << point.protocol << ": " << ts.windows.size()
+                << " windows of " << ts.window_slots << " slots, "
+                << ts.anomalies.size() << " anomalies";
+      if (!links.empty()) {
+        std::cout << "; most contended link " << (links.front().first >> 32)
+                  << "->" << (links.front().first & 0xffffffffULL) << " ("
+                  << links.front().second.contention() << " failed of "
+                  << links.front().second.attempts << " attempts)";
+      }
+      std::cout << "\n";
+    }
+  }
   if (!report_path.empty()) {
     std::cout << "Sweep report written to " << report_path << "\n";
   }

@@ -1,0 +1,398 @@
+// series_view — render an ldcf.timeseries.v1 artifact in the terminal.
+//
+// Turns the windowed telemetry flood_sim --series writes into something a
+// human can scan: unicode sparklines for the headline series (coverage
+// growth, tx attempts, collisions, energy burn), an optional full
+// per-window table, and the anomaly list. Works on the standalone artifact
+// and on any document embedding the same body (a run report's "timeseries"
+// section is found by key).
+//
+//   series_view FILE [--metric NAME] [--table] [--width N]
+//     FILE            an ldcf.timeseries.v1 JSON document (or any JSON
+//                     object with a "series"/"timeseries" member)
+//     --metric NAME   sparkline only this window field (repeatable);
+//                     default: covered, new_holders, tx_attempts,
+//                     collisions, energy
+//     --table         print every window as a row instead of sparklines
+//     --width N       max sparkline columns (default 72); longer series
+//                     are downsampled by summing adjacent windows
+//
+// The JSON reader below is deliberately minimal and self-contained: the
+// project emits JSON everywhere but never needed to *read* it until this
+// tool, and one consumer does not justify a dependency. It parses the full
+// JSON grammar into a small DOM; numbers are doubles (every counter the
+// artifact emits is far below 2^53, where doubles are exact).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- Minimal JSON DOM -----------------------------------------------------
+
+struct JsonValue;
+using JsonPtr = std::unique_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonPtr> items;
+  std::map<std::string, JsonPtr> members;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = members.find(key);
+    return it == members.end() ? nullptr : it->second.get();
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback = 0.0)
+      const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  [[nodiscard]] std::string str(const std::string& key) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->text : std::string{};
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonPtr parse() {
+    JsonPtr value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream msg;
+    msg << "JSON parse error at byte " << pos_ << ": " << message;
+    throw std::runtime_error(msg.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonPtr parse_value() {
+    skip_ws();
+    auto value = std::make_unique<JsonValue>();
+    const char c = peek();
+    if (c == '{') {
+      value->kind = JsonValue::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return value;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        value->members[std::move(key)] = parse_value();
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return value;
+      }
+    }
+    if (c == '[') {
+      value->kind = JsonValue::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return value;
+      }
+      while (true) {
+        value->items.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return value;
+      }
+    }
+    if (c == '"') {
+      value->kind = JsonValue::Kind::kString;
+      value->text = parse_string();
+      return value;
+    }
+    if (consume_literal("true")) {
+      value->kind = JsonValue::Kind::kBool;
+      value->boolean = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      value->kind = JsonValue::Kind::kBool;
+      return value;
+    }
+    if (consume_literal("null")) return value;
+    // Number: defer to strtod, which accepts exactly JSON's grammar plus a
+    // leading '+' that JSON forbids (never emitted by our writer).
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    value->number = std::strtod(start, &end);
+    if (end == start) fail("unexpected character");
+    value->kind = JsonValue::Kind::kNumber;
+    pos_ += static_cast<std::size_t>(end - start);
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs in our
+          // artifacts do not occur; if one does, each half encodes alone).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// --- Rendering ------------------------------------------------------------
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "series_view: " << message << " (see header comment)\n";
+  std::exit(2);
+}
+
+/// Downsample to at most `width` buckets by summing adjacent values, then
+/// map each bucket onto the eight-step unicode block ramp.
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  static const char* kRamp[] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+  if (values.empty()) return {};
+  std::vector<double> buckets;
+  if (values.size() <= width) {
+    buckets = values;
+  } else {
+    const std::size_t per =
+        (values.size() + width - 1) / width;  // windows per bucket.
+    buckets.resize((values.size() + per - 1) / per, 0.0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      buckets[i / per] += values[i];
+    }
+  }
+  double max_value = 0.0;
+  for (const double v : buckets) max_value = std::max(max_value, v);
+  std::string out;
+  for (const double v : buckets) {
+    if (max_value <= 0.0) {
+      out += kRamp[0];
+      continue;
+    }
+    const auto level = static_cast<std::size_t>(
+        std::min(7.0, std::floor(v / max_value * 8.0)));
+    out += kRamp[level];
+  }
+  return out;
+}
+
+std::vector<double> column(const JsonValue& windows, const std::string& name) {
+  std::vector<double> out;
+  out.reserve(windows.items.size());
+  for (const JsonPtr& w : windows.items) out.push_back(w->num(name));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> metrics;
+  bool table = false;
+  std::size_t width = 72;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--metric") {
+      metrics.emplace_back(next());
+    } else if (arg == "--table") {
+      table = true;
+    } else if (arg == "--width") {
+      width = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      if (width == 0) usage_error("--width must be >= 1");
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown option " + arg);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage_error("more than one input file");
+    }
+  }
+  if (path.empty()) usage_error("need an ldcf.timeseries.v1 file");
+  if (metrics.empty()) {
+    metrics = {"covered", "new_holders", "tx_attempts", "collisions",
+               "energy"};
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "series_view: cannot open " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    const JsonPtr doc = JsonParser(buffer.str()).parse();
+    // Accept the standalone artifact ("series" member), a run/sweep report
+    // point ("timeseries" member), or the bare series body itself.
+    const JsonValue* series = doc->find("series");
+    if (series == nullptr) series = doc->find("timeseries");
+    if (series == nullptr && doc->find("windows") != nullptr) {
+      series = doc.get();
+    }
+    if (series == nullptr) {
+      std::cerr << "series_view: " << path
+                << " has no series/timeseries section\n";
+      return 2;
+    }
+    const JsonValue* windows = series->find("windows");
+    if (windows == nullptr || windows->kind != JsonValue::Kind::kArray) {
+      std::cerr << "series_view: series has no windows array\n";
+      return 2;
+    }
+
+    const std::string protocol = doc->str("protocol");
+    std::cout << "series";
+    if (!protocol.empty()) std::cout << " for " << protocol;
+    std::cout << ": " << windows->items.size() << " windows of "
+              << static_cast<std::uint64_t>(series->num("window_slots"))
+              << " slots, " << static_cast<std::uint64_t>(series->num("trials"))
+              << " trial(s), end slot "
+              << static_cast<std::uint64_t>(series->num("end_slot")) << "\n";
+
+    if (table) {
+      std::cout << "start";
+      for (const std::string& m : metrics) std::cout << '\t' << m;
+      std::cout << "\n";
+      for (const JsonPtr& w : windows->items) {
+        std::cout << static_cast<std::uint64_t>(w->num("start"));
+        for (const std::string& m : metrics) std::cout << '\t' << w->num(m);
+        std::cout << "\n";
+      }
+    } else {
+      std::size_t label_width = 0;
+      for (const std::string& m : metrics) {
+        label_width = std::max(label_width, m.size());
+      }
+      for (const std::string& m : metrics) {
+        const std::vector<double> values = column(*windows, m);
+        double total = 0.0;
+        double peak = 0.0;
+        for (const double v : values) {
+          total += v;
+          peak = std::max(peak, v);
+        }
+        std::cout << "  " << m << std::string(label_width - m.size(), ' ')
+                  << "  " << sparkline(values, width) << "  total " << total
+                  << ", peak " << peak << "\n";
+      }
+    }
+
+    const JsonValue* anomalies = series->find("anomalies");
+    if (anomalies != nullptr && !anomalies->items.empty()) {
+      std::cout << "anomalies (" << anomalies->items.size() << "):\n";
+      for (const JsonPtr& a : anomalies->items) {
+        std::cout << "  [" << a->str("rule") << "] " << a->str("message")
+                  << "\n";
+      }
+    } else {
+      std::cout << "no anomalies\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "series_view: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

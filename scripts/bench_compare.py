@@ -46,6 +46,7 @@ RATE_FIELDS = (
     "interactive_slots_per_sec",
     "interactive_slots_per_sec_dense",
     "channel_mdraws_per_sec",
+    "series_speed_ratio",
 )
 
 

@@ -67,14 +67,28 @@ TrialStats run_trial(const topology::Topology& topo,
                                    config.num_packets,
                                    options.heartbeat_seconds));
   }
+  // The series observer precedes the watchdog so that when an invariant
+  // trips mid-run, the windowed counters already include the current
+  // slot's events and current_causes() describes the run up to the trip.
+  std::optional<obs::TimeSeriesObserver> series_observer;
+  if (options.collect_series) {
+    obs::TimeSeriesOptions series_options = options.series;
+    series_options.energy = config.energy;
+    fan_out.add(&series_observer.emplace(topo, series_options));
+  }
   std::optional<obs::WatchdogObserver> watchdog;
   if (options.watchdog != nullptr) {
     fan_out.add(&watchdog.emplace(*options.watchdog));
+    if (series_observer) watchdog->set_cause_source(&*series_observer);
   }
   const sim::SimResult res = sim::run_simulation(
       topo, config, *proto, fan_out.size() > 0 ? &fan_out : nullptr);
   TrialStats stats;
   if (stats_observer) stats.metrics = std::move(stats_observer->registry());
+  if (series_observer) {
+    stats.timeseries = series_observer->take_series();
+    stats.netmap = series_observer->take_netmap();
+  }
   if (recorder) {
     obs::TraceAnalysisOptions analysis_options;
     analysis_options.num_sensors = topo.num_sensors();
@@ -124,6 +138,8 @@ ProtocolPoint reduce_trials(const std::string& protocol, DutyCycle duty,
     }
     point.metrics.merge(t.metrics);
     point.profile.merge(t.profile);
+    point.timeseries.merge(t.timeseries);
+    point.netmap.merge(t.netmap);
   }
   // Two-pass population stddev: squared deviations from the already-known
   // mean. The one-pass sqrt(E[x^2] - mean^2) form cancels catastrophically
@@ -181,6 +197,8 @@ TrialOptions trial_options(const ExperimentConfig& config,
   options.label = protocol + "-T" + std::to_string(duty.period) + "-r" +
                   std::to_string(rep);
   options.watchdog = config.watchdog ? &*config.watchdog : nullptr;
+  options.collect_series = config.collect_series;
+  options.series = config.series;
   return options;
 }
 

@@ -9,6 +9,7 @@
 
 #include "ldcf/analysis/parallel.hpp"
 #include "ldcf/obs/registry.hpp"
+#include "ldcf/obs/timeseries.hpp"
 #include "ldcf/obs/watchdog.hpp"
 #include "ldcf/sim/simulator.hpp"
 #include "ldcf/topology/topology.hpp"
@@ -46,6 +47,13 @@ struct ProtocolPoint {
   obs::MetricsRegistry metrics;
   /// Stage timings summed across trials; all-zero unless base.profiling.
   sim::StageProfile profile;
+  /// Windowed telemetry merged across trials (order-independent counter
+  /// addition; widths aligned by coarsening). Empty unless
+  /// ExperimentConfig::collect_series.
+  obs::TimeSeries timeseries;
+  /// Per-node/per-link hot-spot map merged across trials. Empty unless
+  /// ExperimentConfig::collect_series.
+  obs::NetMap netmap;
 };
 
 struct ExperimentConfig {
@@ -88,6 +96,14 @@ struct ExperimentConfig {
   /// (deterministically — the lowest-index failing trial wins, see
   /// parallel.hpp).
   std::optional<obs::WatchdogConfig> watchdog;
+  /// Attach a TimeSeriesObserver to every trial and merge the windowed
+  /// series / hot-spot maps into each ProtocolPoint. Never forces the
+  /// dense path; per-trial merging is bit-identical for any thread count.
+  bool collect_series = false;
+  /// Options for the per-trial series observers (the energy model is
+  /// overridden with base.energy so series burn rates match the run's
+  /// EnergyReport).
+  obs::TimeSeriesOptions series{};
 };
 
 /// Raw aggregates of one seeded simulation trial, in reduction order.
@@ -108,6 +124,8 @@ struct TrialStats {
   std::uint32_t conformance_violations = 0;
   obs::MetricsRegistry metrics;  ///< populated when collect_stats is on.
   sim::StageProfile profile;     ///< populated when config.profiling is on.
+  obs::TimeSeries timeseries;    ///< populated when collect_series is on.
+  obs::NetMap netmap;            ///< populated when collect_series is on.
 };
 
 /// Per-trial observer selection for run_trial. Everything is optional and
@@ -128,6 +146,12 @@ struct TrialOptions {
   /// Non-null: attach a WatchdogObserver with this config; a tripped
   /// invariant throws WatchdogError out of run_trial.
   const obs::WatchdogConfig* watchdog = nullptr;
+  /// Attach a TimeSeriesObserver and return its series/netmap in the
+  /// trial's stats. When a watchdog is also attached, the series observer
+  /// registers first and feeds it structured causes (AnomalySource), so a
+  /// tripped health report explains what led up to the failure.
+  bool collect_series = false;
+  obs::TimeSeriesOptions series{};
 };
 
 /// One simulation run of `protocol` under exactly `config` (duty and seed

@@ -50,6 +50,17 @@ void write_point(obs::JsonWriter& json, const ProtocolPoint& point) {
   obs::write_stage_profile(json, point.profile);
   json.key("metrics");
   obs::write_registry(json, point.metrics);
+  // Windowed telemetry rides along only when the sweep collected it
+  // (ExperimentConfig::collect_series); the sections use the same bodies
+  // as the standalone ldcf.timeseries.v1 / ldcf.netmap.v1 artifacts.
+  if (!point.timeseries.empty()) {
+    json.key("timeseries");
+    obs::write_timeseries(json, point.timeseries);
+  }
+  if (!point.netmap.empty()) {
+    json.key("netmap");
+    obs::write_netmap(json, point.netmap);
+  }
   json.end_object();
 }
 

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "ldcf/common/error.hpp"
+#include "ldcf/obs/timeseries.hpp"
 
 // Injected by CMake onto this translation unit only (see src/CMakeLists.txt);
 // keep fallbacks so the file also builds standalone.
@@ -226,6 +227,14 @@ void write_run_report(std::ostream& out, const RunReportContext& context) {
   if (context.metrics != nullptr) {
     json.key("metrics");
     write_registry(json, *context.metrics);
+  }
+  if (context.timeseries != nullptr) {
+    json.key("timeseries");
+    write_timeseries(json, *context.timeseries);
+  }
+  if (context.netmap != nullptr) {
+    json.key("netmap");
+    write_netmap(json, *context.netmap);
   }
   json.end_object();
   out << '\n';

@@ -30,6 +30,9 @@
 
 namespace ldcf::obs {
 
+struct TimeSeries;  // obs/timeseries.hpp.
+struct NetMap;      // obs/timeseries.hpp.
+
 /// Build/environment provenance captured at compile time (CMake injects
 /// the git SHA and flags into report.cpp; "unknown" when unavailable —
 /// note the SHA is the one CMake saw at configure time).
@@ -68,6 +71,11 @@ struct RunReportContext {
   const sim::SimConfig* config = nullptr;
   const sim::SimResult* result = nullptr;
   const MetricsRegistry* metrics = nullptr;  ///< optional.
+  /// Optional windowed telemetry (obs/timeseries.hpp): embedded as
+  /// "timeseries" / "netmap" sections using the same bodies as the
+  /// standalone ldcf.timeseries.v1 / ldcf.netmap.v1 artifacts.
+  const TimeSeries* timeseries = nullptr;
+  const NetMap* netmap = nullptr;
   double wall_seconds = 0.0;  ///< end-to-end tool wall time.
 };
 

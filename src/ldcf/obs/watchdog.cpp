@@ -34,8 +34,10 @@ void write_health_report(std::ostream& out, const HealthDiagnostic& diag) {
       .field("packets_generated", diag.packets_generated)
       .field("packets_covered", diag.packets_covered)
       .field("tx_attempts", diag.tx_attempts)
-      .field("tx_failures", diag.tx_failures)
-      .end_object();
+      .field("tx_failures", diag.tx_failures);
+  json.key("causes").begin_array();
+  for (const std::string& cause : diag.causes) json.value(cause);
+  json.end_array().end_object();
   out << '\n';
 }
 
@@ -83,6 +85,7 @@ void WatchdogObserver::fail(std::string invariant, std::string message,
   diag.packets_covered = covered_;
   diag.tx_attempts = attempts_;
   diag.tx_failures = failures_;
+  if (causes_ != nullptr) diag.causes = causes_->current_causes();
   throw WatchdogError(std::move(diag));
 }
 

@@ -32,11 +32,25 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "ldcf/common/types.hpp"
 #include "ldcf/sim/observer.hpp"
 
 namespace ldcf::obs {
+
+/// Something that can explain *why* a run is unhealthy. The watchdog knows
+/// an invariant tripped; a richer observer riding the same run (e.g.
+/// TimeSeriesObserver's anomaly rules) knows what led up to it. Wire one in
+/// with WatchdogObserver::set_cause_source and its current findings are
+/// snapshotted into HealthDiagnostic::causes at the moment of failure.
+class AnomalySource {
+ public:
+  virtual ~AnomalySource() = default;
+
+  /// Human-readable cause lines for the run so far, oldest first.
+  [[nodiscard]] virtual std::vector<std::string> current_causes() const = 0;
+};
 
 struct WatchdogConfig {
   /// Wall-clock seconds without a progress event before declaring a stall;
@@ -68,6 +82,9 @@ struct HealthDiagnostic {
   std::uint64_t packets_covered = 0;
   std::uint64_t tx_attempts = 0;
   std::uint64_t tx_failures = 0;
+  /// Structured causes from an attached AnomalySource (empty without one):
+  /// e.g. "coverage_stall: no progress across 12 windows from slot 4096".
+  std::vector<std::string> causes;
 };
 
 /// Serialize one diagnostic as an `ldcf.health.v1` JSON document.
@@ -92,6 +109,10 @@ class WatchdogObserver final : public sim::SimObserver {
  public:
   explicit WatchdogObserver(const WatchdogConfig& config);
 
+  /// Attach a cause feed (borrowed; may be nullptr to detach). When an
+  /// invariant trips, current_causes() is copied into the diagnostic.
+  void set_cause_source(const AnomalySource* source) { causes_ = source; }
+
   void on_slot_begin(SlotIndex slot, std::span<const NodeId> active) override;
   void on_generate(PacketId packet, SlotIndex slot) override;
   void on_tx_result(const sim::TxResult& result, SlotIndex slot) override;
@@ -109,6 +130,7 @@ class WatchdogObserver final : public sim::SimObserver {
   [[nodiscard]] double wall_seconds_since_progress() const;
 
   WatchdogConfig config_;
+  const AnomalySource* causes_ = nullptr;
   SlotIndex current_slot_ = 0;
   SlotIndex last_progress_slot_ = 0;
   std::uint64_t executed_since_progress_ = 0;

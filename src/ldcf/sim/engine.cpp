@@ -197,6 +197,10 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
   generated_ = 0;
   skipped_by_phase_.assign(config_.duty.period, 0);
   frozen_credit_.assign(topo_.num_nodes(), 0);
+  live_by_phase_.resize(config_.duty.period);
+  for (std::uint32_t p = 0; p < config_.duty.period; ++p) {
+    live_by_phase_[p] = schedules_.active_nodes_at(p).size();
+  }
 
   SimContext ctx;
   ctx.topo = &topo_;
@@ -265,7 +269,7 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
     {
       StageProfiler::Scope timed(profiler_, Stage::kEnergy);
       obs::TimelineSpan span(tl, "energy", "engine", "slot", t);
-      stage_energy(active);
+      stage_energy(t, active);
     }
     {
       StageProfiler::Scope timed(profiler_, Stage::kApply);
@@ -342,6 +346,9 @@ void SimEngine::stage_faults(SlotIndex t) {
     // skipped so far happened while the victim was alive (fast-forward
     // never crosses a pending death), later gaps must not count.
     frozen_credit_[victim] = listen_credit(victim);
+    for (const std::uint32_t phase : schedules_.active_slots(victim)) {
+      --live_by_phase_[phase];
+    }
     --alive_sensors_;
     for (PacketId p = 0; p < config_.num_packets; ++p) {
       if (possession_.has(victim, p)) ++dead_holders_[p];
@@ -437,16 +444,21 @@ void SimEngine::stage_channel(SlotIndex t, std::span<const NodeId> active) {
 // Energy tally: transmitters pay tx (counted per attempt by the collector);
 // active non-transmitters pay a listening slot. Ghost senders deliberately
 // stay unmarked, matching the original accounting.
-void SimEngine::stage_energy(std::span<const NodeId> active) {
+void SimEngine::stage_energy(SlotIndex t, std::span<const NodeId> active) {
   for (const TxIntent& intent : ws_.intents) {
     ws_.transmitting[intent.sender] = 1;
   }
   for (const TxIntent& intent : ws_.sync_missed) {
     ws_.transmitting[intent.sender] = 1;
   }
+  std::uint64_t listeners = 0;
   for (const NodeId n : active) {
-    if (!ws_.transmitting[n]) collector_->note_listen(n);
+    if (!ws_.transmitting[n]) {
+      collector_->note_listen(n);
+      ++listeners;
+    }
   }
+  if (observer_ != nullptr) observer_->on_slot_listeners(t, listeners);
   for (const TxIntent& intent : ws_.intents) {
     ws_.transmitting[intent.sender] = 0;
   }
@@ -540,6 +552,7 @@ void SimEngine::fast_forward(SlotIndex from, SlotIndex to) {
     }
   }
   profiler_.add_skip(gap);
+  if (observer_ != nullptr) observer_->on_idle_gap(from, to, live_by_phase_);
 }
 
 // Listening slots node n accrued across all gaps skipped so far: one per

@@ -165,7 +165,7 @@ class SimEngine {
   void stage_intents(SlotIndex t, std::span<const NodeId> active);
   void stage_sync_miss();
   void stage_channel(SlotIndex t, std::span<const NodeId> active);
-  void stage_energy(std::span<const NodeId> active);
+  void stage_energy(SlotIndex t, std::span<const NodeId> active);
   void stage_apply(SlotIndex t);
   void stage_coverage(SlotIndex t);
 
@@ -222,6 +222,11 @@ class SimEngine {
   // after death must not count as listening).
   std::vector<std::uint64_t> skipped_by_phase_;
   std::vector<std::uint64_t> frozen_credit_;
+  // Live nodes per schedule phase, maintained across deaths; handed to
+  // observers with on_idle_gap so windowed listen accounting can settle a
+  // skipped gap in closed form (constant within a gap: fast-forward never
+  // crosses a pending death).
+  std::vector<std::uint64_t> live_by_phase_;
 };
 
 }  // namespace ldcf::sim

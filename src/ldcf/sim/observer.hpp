@@ -8,12 +8,19 @@
 // no-ops, so an observer pays only for what it overrides.
 //
 // Hook order within one slot: on_slot_begin -> on_generate* ->
+// on_slot_listeners ->
 // (per result: on_tx_result, then on_delivery for a fresh unicast copy) ->
 // (per overhear: on_overhear, then on_delivery for a fresh copy) ->
 // on_packet_covered*. on_run_end fires once, after the final metrics are
-// assembled.
+// assembled. Under compact time, slots the engine fast-forwards over fire a
+// single on_idle_gap instead of per-slot hooks; observers that accumulate
+// per-slot quantities (e.g. TimeSeriesObserver's windowed listen/energy
+// series) settle the gap in closed form from the per-phase live counts it
+// carries, so windowed accounting stays exact without forcing the dense
+// path.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -58,6 +65,25 @@ class SimObserver {
   /// `covered_at` is the first slot by which coverage held.
   virtual void on_packet_covered(PacketId /*packet*/,
                                  SlotIndex /*covered_at*/) {}
+
+  /// `listeners` live active nodes spent executed slot `slot` listening
+  /// (active and not transmitting). Fired once per executed slot, before the
+  /// slot's tx results; together with on_idle_gap it gives observers an
+  /// exact per-slot listen/energy account on both execution paths.
+  virtual void on_slot_listeners(SlotIndex /*slot*/,
+                                 std::uint64_t /*listeners*/) {}
+
+  /// The compact-time engine fast-forwarded the provably idle gap
+  /// [from, to): no transmissions, deliveries, generations, faults or
+  /// coverage changes happened in it, and every live node listened on each
+  /// occurrence of its wake phases. `live_by_phase[p]` is the number of live
+  /// nodes active at phase `p` (slot % period == p), constant across the
+  /// gap because fast-forward never crosses a pending death. Equivalent
+  /// dense execution fires on_slot_begin/on_slot_listeners per slot instead;
+  /// the two accounts agree exactly (differential suite). Never fired on
+  /// the dense path.
+  virtual void on_idle_gap(SlotIndex /*from*/, SlotIndex /*to*/,
+                           std::span<const std::uint64_t> /*live_by_phase*/) {}
 
   /// The run finished; `result` is the final, fully assembled result.
   virtual void on_run_end(const SimResult& /*result*/) {}
@@ -107,6 +133,13 @@ class MultiObserver final : public SimObserver {
   }
   void on_packet_covered(PacketId packet, SlotIndex covered_at) override {
     for (SimObserver* o : observers_) o->on_packet_covered(packet, covered_at);
+  }
+  void on_slot_listeners(SlotIndex slot, std::uint64_t listeners) override {
+    for (SimObserver* o : observers_) o->on_slot_listeners(slot, listeners);
+  }
+  void on_idle_gap(SlotIndex from, SlotIndex to,
+                   std::span<const std::uint64_t> live_by_phase) override {
+    for (SimObserver* o : observers_) o->on_idle_gap(from, to, live_by_phase);
   }
   void on_run_end(const SimResult& result) override {
     for (SimObserver* o : observers_) o->on_run_end(result);

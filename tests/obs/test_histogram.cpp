@@ -270,5 +270,27 @@ TEST(Histogram, InterpolatedQuantileOfEmptyHistogramIsZero) {
   EXPECT_DOUBLE_EQ(h.quantile_interp(0.5), 0.0);
 }
 
+TEST(Histogram, InterpolatedQuantilePinnedAndMonotoneAfterCoarsening) {
+  // 0..7 into 4 unit bins auto-coarsens to width 2: {[0,2):2, [2,4):2,
+  // [4,6):2, [6,8):2}. Interpolation must keep working on the coarsened
+  // grid with the same rank arithmetic as on the original one.
+  Histogram h(narrow(4));
+  for (int v = 0; v < 8; ++v) h.record(v);
+  ASSERT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile_interp(0.25), 2.0);   // rank 2: top of bin 0.
+  EXPECT_DOUBLE_EQ(h.quantile_interp(0.375), 3.0);  // rank 3: mid bin 1.
+  EXPECT_DOUBLE_EQ(h.quantile_interp(0.5), 4.0);    // rank 4: top of bin 1.
+  EXPECT_DOUBLE_EQ(h.quantile_interp(1.0), 8.0);
+  // The estimator is monotone in q — the property that makes it usable as
+  // a percentile curve — on this grid and within every coarse bin.
+  double prev = h.quantile_interp(0.0);
+  for (int step = 1; step <= 40; ++step) {
+    const double q = static_cast<double>(step) / 40.0;
+    const double value = h.quantile_interp(q);
+    EXPECT_GE(value, prev) << "q=" << q;
+    prev = value;
+  }
+}
+
 }  // namespace
 }  // namespace ldcf::obs
