@@ -1,0 +1,102 @@
+// flood_client — submit jobs to a running flood_server.
+//
+//   flood_client [--host ADDR] [--port N] [--unix PATH] OP [ARG]
+//     OP is one of:
+//       ping               round-trip a {"op":"ping"} frame
+//       stats              print the server's stats frame
+//       submit JSON        submit a job config (a JSON object, e.g.
+//                          '{"protocol":"opt","reps":4}'); progress frames
+//                          go to stderr, the terminal frame (result, error
+//                          or rejected) to stdout, byte-exact
+//
+// Exit status: 0 on result/pong/stats, 3 when the terminal frame is an
+// error or rejection, 1 on connection problems, 2 on usage errors.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "ldcf/common/parse.hpp"
+#include "ldcf/serve/client.hpp"
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "flood_client: " << message << " (see header comment)\n";
+  std::exit(2);
+}
+
+std::string next_arg(int argc, char** argv, int& i, const std::string& flag) {
+  if (i + 1 >= argc) usage_error(flag + " needs a value");
+  return argv[++i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ldcf::serve::Endpoint endpoint;
+  std::string op;
+  std::string config_json;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host") {
+      endpoint.host = next_arg(argc, argv, i, arg);
+    } else if (arg == "--port") {
+      try {
+        const std::uint64_t port =
+            ldcf::common::parse_u64(next_arg(argc, argv, i, arg), "--port");
+        if (port > 65535) usage_error("--port out of range");
+        endpoint.port = static_cast<std::uint16_t>(port);
+      } catch (const std::exception& e) {
+        usage_error(e.what());
+      }
+    } else if (arg == "--unix") {
+      endpoint.unix_path = next_arg(argc, argv, i, arg);
+    } else if (op.empty()) {
+      op = arg;
+      if (op == "submit") config_json = next_arg(argc, argv, i, arg);
+    } else {
+      usage_error("unexpected argument: " + arg);
+    }
+  }
+  if (op.empty()) usage_error("missing operation (ping|stats|submit)");
+  if (op != "ping" && op != "stats" && op != "submit") {
+    usage_error("unknown operation: " + op);
+  }
+  if (endpoint.unix_path.empty() && endpoint.port == 0) {
+    usage_error("--port (or --unix) is required");
+  }
+
+  try {
+    ldcf::serve::FloodClient client(endpoint);
+    if (op == "ping" || op == "stats") {
+      const std::string raw = client.request_raw("{\"op\":\"" + op + "\"}");
+      const ldcf::obs::JsonPtr reply = ldcf::obs::parse_json(raw);
+      const std::string expect = op == "ping" ? "pong" : "stats";
+      if (reply->str("type") != expect) {
+        std::cerr << "flood_client: unexpected reply type '"
+                  << reply->str("type") << "'\n";
+        return 3;
+      }
+      std::cout << raw << "\n";
+      return 0;
+    }
+
+    std::string terminal_type;
+    const std::string raw = client.submit_raw(
+        config_json,
+        [&](const std::string& frame_raw, const ldcf::obs::JsonValue& frame) {
+          const std::string type = frame.str("type");
+          if (type == "result" || type == "error" || type == "rejected") {
+            terminal_type = type;
+          } else {
+            std::cerr << frame_raw << "\n";
+          }
+        });
+    std::cout << raw << "\n";
+    return terminal_type == "result" ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::cerr << "flood_client: " << e.what() << "\n";
+    return 1;
+  }
+}

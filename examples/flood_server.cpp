@@ -1,0 +1,114 @@
+// flood_server — the sweep service daemon.
+//
+// Binds a TCP (or Unix-domain) listener, accepts NDJSON job submissions,
+// and executes them through the same analysis::run_point executor the CLI
+// uses, memoizing immutable artifacts (topologies, schedules, energy
+// trees) in a fingerprint-keyed LRU cache. See serve/server.hpp for the
+// wire protocol.
+//
+//   flood_server [--host ADDR] [--port N] [--unix PATH]
+//                [--workers N] [--max-queue N] [--max-trials N]
+//                [--cache-mb N] [--stats FILE]
+//     --host ADDR     IPv4 listen address     (default 127.0.0.1)
+//     --port N        TCP port; 0 = ephemeral (default 0; the chosen
+//                     port is printed as "listening on PORT")
+//     --unix PATH     listen on a Unix socket instead of TCP
+//     --workers N     concurrent job executors (default 1)
+//     --max-queue N   queued-job admission limit (default 8)
+//     --max-trials N  per-job reps ceiling (default 256)
+//     --cache-mb N    artifact cache budget in MiB (default 64)
+//     --stats FILE    write an ldcf.server_stats.v1 artifact on shutdown
+//
+// SIGINT/SIGTERM shut down cooperatively: in-flight trials finish, queued
+// jobs get structured shutdown errors, the stats artifact (if requested)
+// is written atomically, and the process exits 0.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "ldcf/analysis/cancel.hpp"
+#include "ldcf/common/parse.hpp"
+#include "ldcf/serve/server.hpp"
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "flood_server: " << message << " (see header comment)\n";
+  std::exit(2);
+}
+
+std::string next_arg(int argc, char** argv, int& i, const std::string& flag) {
+  if (i + 1 >= argc) usage_error(flag + " needs a value");
+  return argv[++i];
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  try {
+    return ldcf::common::parse_u64(text, what);
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ldcf::serve::ServerConfig config;
+  std::string stats_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host") {
+      config.endpoint.host = next_arg(argc, argv, i, arg);
+    } else if (arg == "--port") {
+      const std::uint64_t port = parse_u64(next_arg(argc, argv, i, arg), arg);
+      if (port > 65535) usage_error("--port out of range");
+      config.endpoint.port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--unix") {
+      config.endpoint.unix_path = next_arg(argc, argv, i, arg);
+    } else if (arg == "--workers") {
+      config.job_workers = static_cast<std::uint32_t>(
+          parse_u64(next_arg(argc, argv, i, arg), arg));
+    } else if (arg == "--max-queue") {
+      config.max_queued_jobs = static_cast<std::size_t>(
+          parse_u64(next_arg(argc, argv, i, arg), arg));
+    } else if (arg == "--max-trials") {
+      config.max_trials_per_job = static_cast<std::uint32_t>(
+          parse_u64(next_arg(argc, argv, i, arg), arg));
+    } else if (arg == "--cache-mb") {
+      config.cache_budget_bytes =
+          parse_u64(next_arg(argc, argv, i, arg), arg) << 20;
+    } else if (arg == "--stats") {
+      stats_path = next_arg(argc, argv, i, arg);
+    } else {
+      usage_error("unknown flag: " + arg);
+    }
+  }
+
+  try {
+    ldcf::serve::FloodServer server(config);
+    server.start();
+    if (config.endpoint.unix_path.empty()) {
+      std::cout << "listening on " << server.port() << std::endl;
+    } else {
+      std::cout << "listening on " << config.endpoint.unix_path << std::endl;
+    }
+
+    ldcf::analysis::install_cancel_signal_handlers();
+    while (!ldcf::analysis::cancel_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::cerr << "flood_server: shutdown signal received\n";
+    server.stop();
+    if (!stats_path.empty()) {
+      server.write_stats_file(stats_path);
+      std::cerr << "flood_server: stats written to " << stats_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "flood_server: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -92,9 +92,11 @@
 #include <string>
 #include <utility>
 
+#include "ldcf/analysis/cancel.hpp"
 #include "ldcf/analysis/experiment.hpp"
 #include "ldcf/analysis/report.hpp"
 #include "ldcf/analysis/table.hpp"
+#include "ldcf/common/parse.hpp"
 #include "ldcf/obs/heartbeat.hpp"
 #include "ldcf/obs/report.hpp"
 #include "ldcf/obs/stats_observer.hpp"
@@ -116,17 +118,19 @@ namespace {
 }
 
 double parse_double(const char* text) {
-  char* end = nullptr;
-  const double value = std::strtod(text, &end);
-  if (end == text) usage_error(std::string("bad number: ") + text);
-  return value;
+  try {
+    return ldcf::common::parse_double(text);
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
 }
 
 std::uint64_t parse_u64(const char* text) {
-  char* end = nullptr;
-  const std::uint64_t value = std::strtoull(text, &end, 10);
-  if (end == text) usage_error(std::string("bad integer: ") + text);
-  return value;
+  try {
+    return ldcf::common::parse_u64(text);
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
 }
 
 // Completion/ETA line on stderr, rewritten in place with '\r'. The
@@ -459,9 +463,18 @@ int run_cli(int argc, char** argv) {
     experiment.collect_series = collect_series;
     experiment.series = series_options;
     if (show_progress) experiment.progress = make_progress_printer();
+    // Ctrl-C / SIGTERM request cooperative cancellation: in-flight trials
+    // finish, remaining seeds are abandoned, and we exit 130 below without
+    // tearing any report file (all writers go through write_file_atomic).
+    analysis::install_cancel_signal_handlers();
     analysis::ProtocolPoint point;
     try {
       point = analysis::run_point(topo, protocol, config.duty, experiment);
+    } catch (const analysis::CancelledError&) {
+      if (timeline) timeline->write_chrome_trace_file(timeline_path);
+      std::cerr << "flood_sim: cancelled by signal; in-flight trials "
+                   "finished, partial sweep discarded\n";
+      return 130;
     } catch (const obs::WatchdogError& error) {
       if (timeline) timeline->write_chrome_trace_file(timeline_path);
       return report_watchdog_trip(error, watchdog_report_path);

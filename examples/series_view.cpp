@@ -17,223 +17,26 @@
 //     --width N       max sparkline columns (default 72); longer series
 //                     are downsampled by summing adjacent windows
 //
-// The JSON reader below is deliberately minimal and self-contained: the
-// project emits JSON everywhere but never needed to *read* it until this
-// tool, and one consumer does not justify a dependency. It parses the full
-// JSON grammar into a small DOM; numbers are doubles (every counter the
-// artifact emits is far below 2^53, where doubles are exact).
+// JSON is read through the project's shared minimal DOM (obs/json_reader);
+// this tool grew the original parser before it was promoted to a module.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "ldcf/common/parse.hpp"
+#include "ldcf/obs/json_reader.hpp"
+
 namespace {
 
-// --- Minimal JSON DOM -----------------------------------------------------
-
-struct JsonValue;
-using JsonPtr = std::unique_ptr<JsonValue>;
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::vector<JsonPtr> items;
-  std::map<std::string, JsonPtr> members;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    const auto it = members.find(key);
-    return it == members.end() ? nullptr : it->second.get();
-  }
-  [[nodiscard]] double num(const std::string& key, double fallback = 0.0)
-      const {
-    const JsonValue* v = find(key);
-    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
-  }
-  [[nodiscard]] std::string str(const std::string& key) const {
-    const JsonValue* v = find(key);
-    return v != nullptr && v->kind == Kind::kString ? v->text : std::string{};
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonPtr parse() {
-    JsonPtr value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content after JSON value");
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& message) const {
-    std::ostringstream msg;
-    msg << "JSON parse error at byte " << pos_ << ": " << message;
-    throw std::runtime_error(msg.str());
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view literal) {
-    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
-    pos_ += literal.size();
-    return true;
-  }
-
-  JsonPtr parse_value() {
-    skip_ws();
-    auto value = std::make_unique<JsonValue>();
-    const char c = peek();
-    if (c == '{') {
-      value->kind = JsonValue::Kind::kObject;
-      ++pos_;
-      skip_ws();
-      if (peek() == '}') {
-        ++pos_;
-        return value;
-      }
-      while (true) {
-        skip_ws();
-        std::string key = parse_string();
-        skip_ws();
-        expect(':');
-        value->members[std::move(key)] = parse_value();
-        skip_ws();
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect('}');
-        return value;
-      }
-    }
-    if (c == '[') {
-      value->kind = JsonValue::Kind::kArray;
-      ++pos_;
-      skip_ws();
-      if (peek() == ']') {
-        ++pos_;
-        return value;
-      }
-      while (true) {
-        value->items.push_back(parse_value());
-        skip_ws();
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect(']');
-        return value;
-      }
-    }
-    if (c == '"') {
-      value->kind = JsonValue::Kind::kString;
-      value->text = parse_string();
-      return value;
-    }
-    if (consume_literal("true")) {
-      value->kind = JsonValue::Kind::kBool;
-      value->boolean = true;
-      return value;
-    }
-    if (consume_literal("false")) {
-      value->kind = JsonValue::Kind::kBool;
-      return value;
-    }
-    if (consume_literal("null")) return value;
-    // Number: defer to strtod, which accepts exactly JSON's grammar plus a
-    // leading '+' that JSON forbids (never emitted by our writer).
-    const char* start = text_.data() + pos_;
-    char* end = nullptr;
-    value->number = std::strtod(start, &end);
-    if (end == start) fail("unexpected character");
-    value->kind = JsonValue::Kind::kNumber;
-    pos_ += static_cast<std::size_t>(end - start);
-    return value;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
-          }
-          // UTF-8 encode the BMP code point (surrogate pairs in our
-          // artifacts do not occur; if one does, each half encodes alone).
-          if (code < 0x80) {
-            out.push_back(static_cast<char>(code));
-          } else if (code < 0x800) {
-            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
-            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          }
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+using ldcf::obs::JsonPtr;
+using ldcf::obs::JsonValue;
+using ldcf::obs::parse_json;
 
 // --- Rendering ------------------------------------------------------------
 
@@ -299,7 +102,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--table") {
       table = true;
     } else if (arg == "--width") {
-      width = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      try {
+        width = static_cast<std::size_t>(
+            ldcf::common::parse_u64(next(), "--width"));
+      } catch (const std::exception& e) {
+        usage_error(e.what());
+      }
       if (width == 0) usage_error("--width must be >= 1");
     } else if (!arg.empty() && arg[0] == '-') {
       usage_error("unknown option " + arg);
@@ -324,7 +132,7 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
 
   try {
-    const JsonPtr doc = JsonParser(buffer.str()).parse();
+    const JsonPtr doc = parse_json(buffer.str());
     // Accept the standalone artifact ("series" member), a run/sweep report
     // point ("timeseries" member), or the bare series body itself.
     const JsonValue* series = doc->find("series");

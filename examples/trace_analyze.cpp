@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "ldcf/common/parse.hpp"
 #include "ldcf/obs/trace_analysis.hpp"
 #include "ldcf/topology/trace_io.hpp"
 
@@ -37,17 +38,19 @@ namespace {
 }
 
 std::uint64_t parse_u64(const char* text, const std::string& what) {
-  char* end = nullptr;
-  const std::uint64_t value = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0') usage_error("bad " + what + ": " + text);
-  return value;
+  try {
+    return ldcf::common::parse_u64(text, what);
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
 }
 
 double parse_double(const char* text, const std::string& what) {
-  char* end = nullptr;
-  const double value = std::strtod(text, &end);
-  if (end == text || *end != '\0') usage_error("bad " + what + ": " + text);
-  return value;
+  try {
+    return ldcf::common::parse_double(text, what);
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
 }
 
 }  // namespace

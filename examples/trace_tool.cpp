@@ -11,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "ldcf/common/parse.hpp"
 #include "ldcf/topology/generators.hpp"
 #include "ldcf/topology/trace_io.hpp"
 #include "ldcf/topology/tree.hpp"
@@ -50,18 +51,18 @@ int cmd_gen(int argc, char** argv) {
     }
     const char* value = argv[++i];
     if (arg == "--sensors") {
-      config.base.num_sensors =
-          static_cast<std::uint32_t>(std::stoul(value));
+      config.base.num_sensors = ldcf::common::parse_u32(value, "--sensors");
     } else if (arg == "--seed") {
-      config.base.seed = std::stoull(value);
+      config.base.seed = ldcf::common::parse_u64(value, "--seed");
     } else if (arg == "--area") {
-      config.base.area_side_m = std::stod(value);
+      config.base.area_side_m = ldcf::common::parse_double(value, "--area");
       explicit_area = true;
     } else if (arg == "--clusters") {
-      config.num_clusters = static_cast<std::uint32_t>(std::stoul(value));
+      config.num_clusters = ldcf::common::parse_u32(value, "--clusters");
       explicit_clusters = true;
     } else if (arg == "--exponent") {
-      config.base.radio.path_loss_exponent = std::stod(value);
+      config.base.radio.path_loss_exponent =
+          ldcf::common::parse_double(value, "--exponent");
     } else {
       usage();
     }

@@ -1,0 +1,36 @@
+#include "ldcf/analysis/cancel.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace ldcf::analysis {
+
+namespace {
+
+std::atomic<bool> g_cancel{false};
+
+extern "C" void cancel_signal_handler(int /*signum*/) {
+  // Only the relaxed store below — anything more is not signal-safe.
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void request_cancel() noexcept {
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
+bool cancel_requested() noexcept {
+  return g_cancel.load(std::memory_order_relaxed);
+}
+
+void reset_cancel() noexcept {
+  g_cancel.store(false, std::memory_order_relaxed);
+}
+
+void install_cancel_signal_handlers() {
+  std::signal(SIGINT, cancel_signal_handler);
+  std::signal(SIGTERM, cancel_signal_handler);
+}
+
+}  // namespace ldcf::analysis

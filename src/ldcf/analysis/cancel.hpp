@@ -1,0 +1,45 @@
+// Cooperative cancellation shared by the sweep executor and long-running
+// front-ends (flood_sim --reps, flood_server).
+//
+// The model is a single process-wide flag: anything may raise it (a signal
+// handler, a server shutdown path, a test), and the parallel executor
+// polls it between task claims. Tasks already in flight run to completion
+// — a half-finished trial is never observable — after which
+// parallel_for_indexed throws CancelledError instead of starting the
+// remaining indices. Front-ends catch CancelledError, flush whatever
+// reports are complete, and exit nonzero.
+//
+// request_cancel() is async-signal-safe (a relaxed atomic store), so
+// install_cancel_signal_handlers() can route SIGINT/SIGTERM straight to
+// it. The flag is process-wide by design: one Ctrl-C means "wind down
+// everything", not one particular sweep.
+#pragma once
+
+#include <stdexcept>
+
+namespace ldcf::analysis {
+
+/// Thrown by parallel_for_indexed (and anything else honouring the flag)
+/// when cancellation was requested before all tasks were started.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("cancelled") {}
+};
+
+/// Raise the process-wide cancellation flag. Async-signal-safe.
+void request_cancel() noexcept;
+
+/// True once request_cancel() has been called (and reset_cancel() has not).
+[[nodiscard]] bool cancel_requested() noexcept;
+
+/// Lower the flag again. For tests and for servers that survive the
+/// cancellation of one batch of work; not async-signal-safe by contract
+/// (it is in practice, but nothing should reset from a handler).
+void reset_cancel() noexcept;
+
+/// Install SIGINT + SIGTERM handlers that call request_cancel(). Repeated
+/// signals keep hitting the same handler — delivery stays cooperative so
+/// in-flight trials always finish and reports are never torn.
+void install_cancel_signal_handlers();
+
+}  // namespace ldcf::analysis

@@ -163,6 +163,9 @@ sim::SimConfig trial_config(const ExperimentConfig& config, DutyCycle duty,
   sim::SimConfig run_config = config.base;
   run_config.duty = duty;
   run_config.seed = config.base.seed + rep;
+  // Artifact-cache hook: runs after duty/seed resolution so the caller can
+  // key memoized schedules/trees on the final per-trial config.
+  if (config.trial_artifacts) config.trial_artifacts(run_config);
   return run_config;
 }
 

@@ -104,6 +104,12 @@ struct ExperimentConfig {
   /// overridden with base.energy so series burn rates match the run's
   /// EnergyReport).
   obs::TimeSeriesOptions series{};
+  /// Called on each trial's resolved SimConfig (duty and seed already set)
+  /// before the trial runs. A caching caller (the sweep service) uses this
+  /// to attach memoized immutable artifacts — SimConfig::shared_schedules /
+  /// shared_tree — per trial. Must not change anything that affects
+  /// results; injected artifacts are validated by the engine.
+  std::function<void(sim::SimConfig&)> trial_artifacts;
 };
 
 /// Raw aggregates of one seeded simulation trial, in reduction order.

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "ldcf/analysis/cancel.hpp"
+
 namespace ldcf::analysis {
 
 namespace {
@@ -45,6 +47,7 @@ void parallel_for_indexed(std::size_t count, std::uint32_t threads,
   const auto start = std::chrono::steady_clock::now();
   if (workers <= 1) {
     for (std::size_t i = 0; i < count; ++i) {
+      if (cancel_requested()) throw CancelledError();
       task(i);
       if (progress) progress(make_progress(i + 1, count, start));
     }
@@ -54,17 +57,23 @@ void parallel_for_indexed(std::size_t count, std::uint32_t threads,
   // Indices are claimed from one atomic counter; each failure lands in the
   // slot owned by its index so the rethrow choice below is deterministic.
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
   std::size_t completed = 0;  // guarded by progress_mutex.
   std::mutex progress_mutex;
   std::vector<std::exception_ptr> errors(count);
   const auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-         i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+    // The cancellation flag is consulted before each claim, never inside a
+    // task: in-flight trials always run to completion, only unstarted
+    // indices are abandoned.
+    while (!cancel_requested()) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
       try {
         task(i);
       } catch (...) {
         errors[i] = std::current_exception();
       }
+      done.fetch_add(1, std::memory_order_relaxed);
       if (progress) {
         const std::lock_guard<std::mutex> lock(progress_mutex);
         progress(make_progress(++completed, count, start));
@@ -78,9 +87,13 @@ void parallel_for_indexed(std::size_t count, std::uint32_t threads,
   worker();
   for (std::thread& t : pool) t.join();
 
+  // Task failures outrank the cancellation signal: the lowest-index error
+  // is what a serial run would have surfaced first. A cancel that raced
+  // with the last task finishing is not an error — everything ran.
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }
+  if (done.load(std::memory_order_relaxed) < count) throw CancelledError();
 }
 
 }  // namespace ldcf::analysis

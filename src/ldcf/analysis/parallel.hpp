@@ -52,6 +52,11 @@ using ProgressFn = std::function<void(const Progress& progress)>;
 /// after all workers join — the same exception a serial left-to-right run
 /// would surface — so error behaviour is deterministic too. A task that
 /// throws still counts as completed for progress purposes.
+///
+/// Honours the process-wide cancellation flag (cancel.hpp): the flag is
+/// polled before each index claim, in-flight tasks finish, and if any
+/// index never ran the call throws CancelledError after the join (task
+/// errors, if any, are rethrown in preference).
 void parallel_for_indexed(std::size_t count, std::uint32_t threads,
                           const std::function<void(std::size_t)>& task,
                           const ProgressFn& progress = {});

@@ -1,9 +1,9 @@
 #include "ldcf/analysis/report.hpp"
 
-#include <fstream>
 #include <ostream>
 
 #include "ldcf/common/error.hpp"
+#include "ldcf/obs/atomic_file.hpp"
 #include "ldcf/obs/report.hpp"
 
 namespace ldcf::analysis {
@@ -101,9 +101,8 @@ void write_sweep_report(std::ostream& out,
 
 void write_sweep_report_file(const std::string& path,
                              const SweepReportContext& context) {
-  std::ofstream out(path, std::ios::trunc);
-  LDCF_REQUIRE(out.is_open(), "cannot open report file: " + path);
-  write_sweep_report(out, context);
+  obs::write_file_atomic(
+      path, [&](std::ostream& out) { write_sweep_report(out, context); });
 }
 
 }  // namespace ldcf::analysis

@@ -1,0 +1,36 @@
+#include "ldcf/obs/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::obs {
+
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    LDCF_REQUIRE(out.is_open(), "cannot open file for writing: " + tmp);
+    try {
+      body(out);
+    } catch (...) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw InvalidArgument("write failed for: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw InvalidArgument("cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace ldcf::obs

@@ -1,0 +1,28 @@
+// Atomic artifact writes: <path>.tmp + rename.
+//
+// Every JSON artifact the project emits (run/sweep reports, timeseries and
+// netmap documents, health diagnostics, trace analyses, Chrome timelines,
+// server stats) is a file some poller may be tailing — CI jq steps, the
+// flood_server cache loader, a human watching a sweep. Writing in place
+// means any of those can observe a truncated document. This helper writes
+// the whole body to a sibling temp file first and publishes it with
+// std::rename, which POSIX guarantees is atomic within a filesystem: a
+// reader sees either the old complete file or the new complete file,
+// never a partial one. On any failure (open, body exception, bad stream,
+// rename) the temp file is removed and the final path is left untouched.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace ldcf::obs {
+
+/// Write `body(out)` to `path` atomically via `<path>.tmp` + rename.
+/// Throws InvalidArgument if the temp file cannot be opened or renamed,
+/// and rethrows whatever `body` throws; in every failure mode no partial
+/// file lands at `path` and the temp file is cleaned up.
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& body);
+
+}  // namespace ldcf::obs

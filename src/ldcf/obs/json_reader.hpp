@@ -1,0 +1,81 @@
+// A minimal JSON reader for the project's own artifacts.
+//
+// The codebase emits JSON everywhere (reports, heartbeats, NDJSON server
+// frames) but long avoided reading it; series_view grew the first parser
+// and the sweep service made it shared infrastructure. It parses the full
+// JSON grammar into a small DOM. Numbers keep both a double (convenient
+// for telemetry, exact below 2^53) and the raw source token, so consumers
+// that need exact 64-bit integers (seeds, slot counts) can re-parse the
+// token with the strict common/parse helpers instead of round-tripping
+// through a double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldcf::obs {
+
+struct JsonValue;
+using JsonPtr = std::unique_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// String value for kString; the raw source token for kNumber.
+  std::string text;
+  std::vector<JsonPtr> items;              ///< kArray elements, in order.
+  std::map<std::string, JsonPtr> members;  ///< kObject members.
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup on an object; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = members.find(key);
+    return it == members.end() ? nullptr : it->second.get();
+  }
+
+  /// Numeric member as double, `fallback` when absent or non-numeric.
+  [[nodiscard]] double num(const std::string& key,
+                           double fallback = 0.0) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_number() ? v->number : fallback;
+  }
+
+  /// String member, empty when absent or non-string.
+  [[nodiscard]] std::string str(const std::string& key) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_string() ? v->text : std::string{};
+  }
+
+  /// Boolean member, `fallback` when absent or non-boolean.
+  [[nodiscard]] bool flag(const std::string& key, bool fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->kind == Kind::kBool ? v->boolean : fallback;
+  }
+
+  /// This value as an exact unsigned integer: the raw number token run
+  /// through common::parse_u64. Throws InvalidArgument when the value is
+  /// not a number or the token is negative, fractional, or out of range —
+  /// strict on purpose, this is how the server reads seeds and counts.
+  [[nodiscard]] std::uint64_t as_u64(std::string_view what = "integer") const;
+
+  /// Unsigned-integer member; `fallback` when absent, throws (as as_u64)
+  /// when present but not an exact unsigned integer.
+  [[nodiscard]] std::uint64_t u64(const std::string& key,
+                                  std::uint64_t fallback) const;
+};
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+/// Throws common::InvalidArgument (with a byte offset) on malformed input.
+[[nodiscard]] JsonPtr parse_json(std::string_view text);
+
+}  // namespace ldcf::obs

@@ -2,11 +2,11 @@
 
 #include <bit>
 #include <cmath>
-#include <fstream>
 #include <limits>
 #include <ostream>
 
 #include "ldcf/common/error.hpp"
+#include "ldcf/obs/atomic_file.hpp"
 #include "ldcf/obs/timeseries.hpp"
 
 // Injected by CMake onto this translation unit only (see src/CMakeLists.txt);
@@ -242,9 +242,8 @@ void write_run_report(std::ostream& out, const RunReportContext& context) {
 
 void write_run_report_file(const std::string& path,
                            const RunReportContext& context) {
-  std::ofstream out(path, std::ios::trunc);
-  LDCF_REQUIRE(out.is_open(), "cannot open report file: " + path);
-  write_run_report(out, context);
+  write_file_atomic(path,
+                    [&](std::ostream& out) { write_run_report(out, context); });
 }
 
 }  // namespace ldcf::obs

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ldcf/common/error.hpp"
+#include "ldcf/obs/atomic_file.hpp"
 #include "ldcf/obs/trace_event_writer.hpp"
 
 namespace ldcf::obs {
@@ -144,11 +145,8 @@ void Timeline::write_chrome_trace(std::ostream& out) const {
 }
 
 void Timeline::write_chrome_trace_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw InvalidArgument("cannot open timeline output file: " + path);
-  }
-  write_chrome_trace(out);
+  write_file_atomic(path,
+                    [&](std::ostream& out) { write_chrome_trace(out); });
 }
 
 }  // namespace ldcf::obs

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ldcf/common/error.hpp"
+#include "ldcf/obs/atomic_file.hpp"
 #include "ldcf/obs/report.hpp"
 #include "ldcf/topology/geometry.hpp"
 #include "ldcf/topology/spatial_hash.hpp"
@@ -710,11 +711,9 @@ void write_timeseries_report(std::ostream& out,
 
 void write_timeseries_report_file(const std::string& path,
                                   const SeriesReportContext& context) {
-  std::ofstream out(path);
-  if (!out) {
-    throw InvalidArgument("cannot open timeseries report file: " + path);
-  }
-  write_timeseries_report(out, context);
+  write_file_atomic(path, [&](std::ostream& out) {
+    write_timeseries_report(out, context);
+  });
 }
 
 void write_netmap_report(std::ostream& out,
@@ -731,11 +730,8 @@ void write_netmap_report(std::ostream& out,
 
 void write_netmap_report_file(const std::string& path,
                               const SeriesReportContext& context) {
-  std::ofstream out(path);
-  if (!out) {
-    throw InvalidArgument("cannot open netmap report file: " + path);
-  }
-  write_netmap_report(out, context);
+  write_file_atomic(
+      path, [&](std::ostream& out) { write_netmap_report(out, context); });
 }
 
 }  // namespace ldcf::obs

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "ldcf/common/error.hpp"
+#include "ldcf/obs/atomic_file.hpp"
 #include "ldcf/common/math_utils.hpp"
 #include "ldcf/obs/report.hpp"
 #include "ldcf/sim/engine.hpp"
@@ -586,9 +587,8 @@ void write_tree_dot(std::ostream& out, const DisseminationTree& tree) {
 
 void write_tree_dot_file(const std::string& path,
                          const DisseminationTree& tree) {
-  std::ofstream out(path, std::ios::trunc);
-  LDCF_REQUIRE(out.is_open(), "cannot open dot file: " + path);
-  write_tree_dot(out, tree);
+  write_file_atomic(path,
+                    [&](std::ostream& out) { write_tree_dot(out, tree); });
 }
 
 // ---------------------------------------------------------------------------
@@ -712,9 +712,9 @@ void write_trace_analysis_report(std::ostream& out,
 
 void write_trace_analysis_report_file(
     const std::string& path, const TraceAnalysisReportContext& context) {
-  std::ofstream out(path, std::ios::trunc);
-  LDCF_REQUIRE(out.is_open(), "cannot open report file: " + path);
-  write_trace_analysis_report(out, context);
+  write_file_atomic(path, [&](std::ostream& out) {
+    write_trace_analysis_report(out, context);
+  });
 }
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ldcf/common/error.hpp"
+#include "ldcf/obs/atomic_file.hpp"
 #include "ldcf/obs/json_writer.hpp"
 #include "ldcf/sim/engine.hpp"
 
@@ -43,11 +44,8 @@ void write_health_report(std::ostream& out, const HealthDiagnostic& diag) {
 
 void write_health_report_file(const std::string& path,
                               const HealthDiagnostic& diag) {
-  std::ofstream out(path);
-  if (!out) {
-    throw InvalidArgument("cannot open health report file: " + path);
-  }
-  write_health_report(out, diag);
+  write_file_atomic(path,
+                    [&](std::ostream& out) { write_health_report(out, diag); });
 }
 
 WatchdogError::WatchdogError(HealthDiagnostic diag)

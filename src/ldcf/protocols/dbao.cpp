@@ -53,7 +53,12 @@ void DbaoFlooding::initialize(const SimContext& ctx) {
   // The top-k responsibility subgraph alone need not span the network;
   // adding every node's ETX-tree parent guarantees a delivery path from the
   // source to each reachable sensor.
-  const topology::Tree tree = topology::build_etx_tree(topo, ctx.source);
+  topology::Tree built;
+  if (ctx.energy_tree == nullptr) {
+    built = topology::build_etx_tree(topo, ctx.source);
+  }
+  const topology::Tree& tree =
+      ctx.energy_tree != nullptr ? *ctx.energy_tree : built;
   for (NodeId r = 0; r < topo.num_nodes(); ++r) {
     const NodeId parent = tree.parent[r];
     if (parent == kNoNode) continue;

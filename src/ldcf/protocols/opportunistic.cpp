@@ -10,7 +10,9 @@ namespace ldcf::protocols {
 
 void OpportunisticFlooding::initialize(const SimContext& ctx) {
   PendingSetProtocol::initialize(ctx);
-  tree_ = topology::build_etx_tree(*ctx.topo, ctx.source);
+  tree_ = ctx.energy_tree != nullptr
+              ? *ctx.energy_tree
+              : topology::build_etx_tree(*ctx.topo, ctx.source);
   children_ = tree_.children();
   delay_ = topology::tree_delay_distribution(*ctx.topo, tree_, ctx.duty);
   generated_at_.assign(ctx.num_packets, kNeverSlot);

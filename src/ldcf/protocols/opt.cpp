@@ -20,7 +20,12 @@ void OptFlooding::initialize(const SimContext& ctx) {
   // going through the receiver. Anchoring it on an arbitrary in-neighbor
   // can deadlock: two fringe nodes whose only good links point at each
   // other would wait for one another forever.
-  const topology::Tree tree = topology::build_etx_tree(*ctx.topo, ctx.source);
+  topology::Tree built;
+  if (ctx.energy_tree == nullptr) {
+    built = topology::build_etx_tree(*ctx.topo, ctx.source);
+  }
+  const topology::Tree& tree =
+      ctx.energy_tree != nullptr ? *ctx.energy_tree : built;
   for (NodeId u = 0; u < ctx.topo->num_nodes(); ++u) {
     for (const topology::Link& link : ctx.topo->neighbors(u)) {
       in_neighbors_[link.to].push_back(topology::Link{u, link.prr});

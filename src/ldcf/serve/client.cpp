@@ -1,0 +1,48 @@
+#include "ldcf/serve/client.hpp"
+
+#include "ldcf/common/error.hpp"
+
+namespace ldcf::serve {
+
+FloodClient::FloodClient(const Endpoint& endpoint)
+    : sock_(connect_to(endpoint)), reader_(sock_.fd()) {}
+
+void FloodClient::send_line(const std::string& frame) {
+  LDCF_REQUIRE(send_all(sock_.fd(), frame) && send_all(sock_.fd(), "\n"),
+               "server connection lost while sending");
+}
+
+std::string FloodClient::read_line() {
+  std::string line;
+  LDCF_REQUIRE(reader_.next_line(line),
+               "server closed the connection mid-conversation");
+  return line;
+}
+
+obs::JsonPtr FloodClient::request(const std::string& frame) {
+  return obs::parse_json(request_raw(frame));
+}
+
+std::string FloodClient::request_raw(const std::string& frame) {
+  send_line(frame);
+  return read_line();
+}
+
+obs::JsonPtr FloodClient::submit(const std::string& config_json,
+                                 const FrameFn& on_frame) {
+  return obs::parse_json(submit_raw(config_json, on_frame));
+}
+
+std::string FloodClient::submit_raw(const std::string& config_json,
+                                    const FrameFn& on_frame) {
+  send_line("{\"op\":\"submit\",\"config\":" + config_json + "}");
+  while (true) {
+    const std::string raw = read_line();
+    const obs::JsonPtr frame = obs::parse_json(raw);
+    if (on_frame) on_frame(raw, *frame);
+    const std::string type = frame->str("type");
+    if (type == "result" || type == "error" || type == "rejected") return raw;
+  }
+}
+
+}  // namespace ldcf::serve

@@ -1,0 +1,53 @@
+// Client side of the sweep-service protocol: connect, speak one NDJSON
+// frame at a time, and stream a submitted job's frames until its terminal
+// frame (result, error, or rejected). flood_client and the server tests
+// are both built on this.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ldcf/obs/json_reader.hpp"
+#include "ldcf/serve/net.hpp"
+
+namespace ldcf::serve {
+
+class FloodClient {
+ public:
+  /// Connect to a running flood_server. Throws InvalidArgument when the
+  /// endpoint does not answer.
+  explicit FloodClient(const Endpoint& endpoint);
+
+  /// Send one request frame (`{"op":...}` object, no newline) and return
+  /// the next frame the server sends. For ping/stats — ops with exactly
+  /// one response frame.
+  [[nodiscard]] obs::JsonPtr request(const std::string& frame);
+
+  /// request() without parsing: the reply frame's exact text.
+  [[nodiscard]] std::string request_raw(const std::string& frame);
+
+  /// Submit a job config (the JSON object text of the "config" field) and
+  /// stream frames until the job's terminal frame, which is returned.
+  /// `on_frame`, when set, sees every frame including the terminal one —
+  /// accepted, progress, and the result/error/rejected close. Raw frame
+  /// text is paired with its parsed form so callers can byte-compare
+  /// reports without reserializing.
+  using FrameFn =
+      std::function<void(const std::string& raw, const obs::JsonValue& frame)>;
+  [[nodiscard]] obs::JsonPtr submit(const std::string& config_json,
+                                    const FrameFn& on_frame = {});
+
+  /// Raw-frame variant of submit: returns the terminal frame's exact text
+  /// (what byte-identity tests and the CI smoke job compare).
+  [[nodiscard]] std::string submit_raw(const std::string& config_json,
+                                       const FrameFn& on_frame = {});
+
+ private:
+  void send_line(const std::string& frame);
+  [[nodiscard]] std::string read_line();
+
+  Socket sock_;
+  LineReader reader_;
+};
+
+}  // namespace ldcf::serve

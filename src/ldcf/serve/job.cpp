@@ -1,0 +1,172 @@
+#include "ldcf/serve/job.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/obs/json_writer.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/serve/cache.hpp"
+#include "ldcf/topology/generators.hpp"
+
+namespace ldcf::serve {
+
+namespace {
+
+std::uint32_t read_u32(const obs::JsonValue& v, const std::string& key,
+                       std::uint32_t fallback) {
+  const std::uint64_t raw = v.u64(key, fallback);
+  LDCF_REQUIRE(raw <= 0xffffffffull, "config." + key + " out of range");
+  return static_cast<std::uint32_t>(raw);
+}
+
+double read_double(const obs::JsonValue& v, const std::string& key,
+                   double fallback) {
+  const obs::JsonValue* member = v.find(key);
+  if (member == nullptr) return fallback;
+  LDCF_REQUIRE(member->is_number() && std::isfinite(member->number),
+               "config." + key + " must be a finite number");
+  return member->number;
+}
+
+}  // namespace
+
+JobSpec parse_job_spec(const obs::JsonValue& config) {
+  LDCF_REQUIRE(config.is_object(), "config must be a JSON object");
+  static const std::set<std::string> kKnown = {
+      "protocol",       "generator",     "sensors",
+      "topology_seed",  "duty_pct",      "slots_per_period",
+      "num_packets",    "packet_spacing", "seed",
+      "max_slots",      "coverage_fraction", "reps",
+      "threads",        "collect_stats"};
+  for (const auto& [key, value] : config.members) {
+    LDCF_REQUIRE(kKnown.count(key) != 0, "unknown config key: " + key);
+  }
+
+  JobSpec spec;
+  spec.protocol = config.str("protocol").empty() ? spec.protocol
+                                                 : config.str("protocol");
+  bool known_protocol = false;
+  for (const std::string& name : protocols::protocol_names()) {
+    known_protocol = known_protocol || name == spec.protocol;
+  }
+  LDCF_REQUIRE(known_protocol, "unknown protocol: " + spec.protocol);
+
+  if (!config.str("generator").empty()) spec.generator = config.str("generator");
+  LDCF_REQUIRE(spec.generator == "clustered" || spec.generator == "uniform" ||
+                   spec.generator == "grid" || spec.generator == "disk",
+               "unknown generator: " + spec.generator);
+
+  spec.sensors = read_u32(config, "sensors", spec.sensors);
+  LDCF_REQUIRE(spec.sensors >= 2, "config.sensors must be >= 2");
+  spec.topology_seed = config.u64("topology_seed", spec.topology_seed);
+
+  spec.duty_pct = read_double(config, "duty_pct", spec.duty_pct);
+  LDCF_REQUIRE(spec.duty_pct > 0.0 && spec.duty_pct <= 100.0,
+               "config.duty_pct must be in (0, 100]");
+  spec.slots_per_period =
+      read_u32(config, "slots_per_period", spec.slots_per_period);
+  LDCF_REQUIRE(spec.slots_per_period >= 1,
+               "config.slots_per_period must be >= 1");
+
+  spec.num_packets = read_u32(config, "num_packets", spec.num_packets);
+  LDCF_REQUIRE(spec.num_packets >= 1, "config.num_packets must be >= 1");
+  spec.packet_spacing = read_u32(config, "packet_spacing", spec.packet_spacing);
+  LDCF_REQUIRE(spec.packet_spacing >= 1, "config.packet_spacing must be >= 1");
+  spec.seed = config.u64("seed", spec.seed);
+  spec.max_slots = config.u64("max_slots", spec.max_slots);
+  LDCF_REQUIRE(spec.max_slots >= 1, "config.max_slots must be >= 1");
+  spec.coverage_fraction =
+      read_double(config, "coverage_fraction", spec.coverage_fraction);
+  LDCF_REQUIRE(spec.coverage_fraction > 0.0 && spec.coverage_fraction <= 1.0,
+               "config.coverage_fraction must be in (0, 1]");
+
+  spec.reps = read_u32(config, "reps", spec.reps);
+  LDCF_REQUIRE(spec.reps >= 1, "config.reps must be >= 1");
+  spec.threads = read_u32(config, "threads", spec.threads);
+
+  const obs::JsonValue* stats = config.find("collect_stats");
+  if (stats != nullptr) {
+    LDCF_REQUIRE(stats->kind == obs::JsonValue::Kind::kBool,
+                 "config.collect_stats must be a boolean");
+    spec.collect_stats = stats->boolean;
+  }
+  return spec;
+}
+
+std::string canonical_spec_json(const JobSpec& spec) {
+  std::ostringstream out;
+  {
+    obs::JsonWriter json(out);
+    json.begin_object()
+        .field("protocol", spec.protocol)
+        .field("generator", spec.generator)
+        .field("sensors", spec.sensors)
+        .field("topology_seed", spec.topology_seed)
+        .field("duty_pct", spec.duty_pct)
+        .field("slots_per_period", spec.slots_per_period)
+        .field("num_packets", spec.num_packets)
+        .field("packet_spacing", spec.packet_spacing)
+        .field("seed", spec.seed)
+        .field("max_slots", spec.max_slots)
+        .field("coverage_fraction", spec.coverage_fraction)
+        .field("reps", spec.reps)
+        .field("collect_stats", spec.collect_stats)
+        .end_object();
+  }
+  // `threads` is deliberately absent: the executor is bit-identical for
+  // every thread count, so it must not split the fingerprint.
+  return out.str();
+}
+
+std::uint64_t spec_fingerprint(const JobSpec& spec) {
+  const std::string canonical = canonical_spec_json(spec);
+  return fnv1a(canonical.data(), canonical.size());
+}
+
+std::uint64_t topology_key(const JobSpec& spec) {
+  std::uint64_t key = fnv1a(spec.generator.data(), spec.generator.size());
+  key = fnv1a_mix(key, spec.sensors);
+  key = fnv1a_mix(key, spec.topology_seed);
+  return key;
+}
+
+topology::Topology build_topology(const JobSpec& spec) {
+  if (spec.generator == "clustered") {
+    topology::ClusterConfig config =
+        topology::scaled_cluster_config(spec.sensors, spec.topology_seed);
+    return topology::make_clustered(config);
+  }
+  topology::GeneratorConfig config;
+  config.num_sensors = spec.sensors;
+  config.seed = spec.topology_seed;
+  if (spec.generator == "uniform") return topology::make_uniform(config);
+  if (spec.generator == "grid") return topology::make_grid(config);
+  return topology::make_uniform_disk(config);
+}
+
+analysis::ExperimentConfig make_experiment(const JobSpec& spec) {
+  analysis::ExperimentConfig experiment;
+  experiment.base.duty = spec_duty(spec);
+  experiment.base.slots_per_period = spec.slots_per_period;
+  experiment.base.num_packets = spec.num_packets;
+  experiment.base.packet_spacing = spec.packet_spacing;
+  experiment.base.seed = spec.seed;
+  experiment.base.max_slots = spec.max_slots;
+  experiment.base.coverage_fraction = spec.coverage_fraction;
+  // The determinism contract: identical jobs produce byte-identical
+  // reports, so wall-clock-dependent stage profiling stays off whatever
+  // the build default is.
+  experiment.base.profiling = false;
+  experiment.repetitions = spec.reps;
+  experiment.threads = spec.threads;
+  experiment.collect_stats = spec.collect_stats;
+  return experiment;
+}
+
+DutyCycle spec_duty(const JobSpec& spec) {
+  return DutyCycle::from_ratio(spec.duty_pct / 100.0);
+}
+
+}  // namespace ldcf::serve

@@ -40,12 +40,25 @@ const SimConfig& validate_config(const topology::Topology& topo,
 
 // Substream derivation order is part of the determinism contract: the
 // master seed forks schedules first, then the channel, then the protocol
-// substream, exactly as the original run_simulation did.
-schedule::ScheduleSet build_schedules(const topology::Topology& topo,
-                                      const SimConfig& config, Rng& master) {
-  Rng schedule_rng(master.fork_seed());
-  return schedule::ScheduleSet(topo.num_nodes(), config.duty, schedule_rng,
-                               config.slots_per_period);
+// substream, exactly as the original run_simulation did. When the caller
+// supplies cached schedules, the schedule fork is still burned — that keeps
+// the channel and protocol seeds identical to a cold run — and the shape
+// of the injected set is validated against the config.
+std::shared_ptr<const schedule::ScheduleSet> build_schedules(
+    const topology::Topology& topo, const SimConfig& config, Rng& master) {
+  const std::uint64_t schedule_seed = master.fork_seed();
+  if (config.shared_schedules != nullptr) {
+    const schedule::ScheduleSet& s = *config.shared_schedules;
+    LDCF_REQUIRE(s.num_nodes() == topo.num_nodes(),
+                 "shared_schedules built for a different node count");
+    LDCF_REQUIRE(s.duty() == config.duty &&
+                     s.slots_per_period() == config.slots_per_period,
+                 "shared_schedules built for a different duty cycle");
+    return config.shared_schedules;
+  }
+  Rng schedule_rng(schedule_seed);
+  return std::make_shared<const schedule::ScheduleSet>(
+      topo.num_nodes(), config.duty, schedule_rng, config.slots_per_period);
 }
 
 void validate_intents(const topology::Topology& topo,
@@ -199,16 +212,17 @@ SimResult SimEngine::run(FloodingProtocol& protocol, SimObserver* observer) {
   frozen_credit_.assign(topo_.num_nodes(), 0);
   live_by_phase_.resize(config_.duty.period);
   for (std::uint32_t p = 0; p < config_.duty.period; ++p) {
-    live_by_phase_[p] = schedules_.active_nodes_at(p).size();
+    live_by_phase_[p] = schedules_->active_nodes_at(p).size();
   }
 
   SimContext ctx;
   ctx.topo = &topo_;
-  ctx.schedules = &schedules_;
+  ctx.schedules = schedules_.get();
   ctx.duty = config_.duty;
   ctx.num_packets = config_.num_packets;
   ctx.seed = protocol_seed_;
   ctx.source = config_.source;
+  ctx.energy_tree = config_.shared_tree.get();
   protocol.initialize(ctx);
 
   profiler_.reset(config_.profiling);
@@ -346,7 +360,7 @@ void SimEngine::stage_faults(SlotIndex t) {
     // skipped so far happened while the victim was alive (fast-forward
     // never crosses a pending death), later gaps must not count.
     frozen_credit_[victim] = listen_credit(victim);
-    for (const std::uint32_t phase : schedules_.active_slots(victim)) {
+    for (const std::uint32_t phase : schedules_->active_slots(victim)) {
       --live_by_phase_[phase];
     }
     --alive_sensors_;
@@ -363,7 +377,7 @@ void SimEngine::stage_faults(SlotIndex t) {
 // This slot's receivers: the schedule's phase bucket, viewed in place until
 // the first death forces a filtered copy into the workspace.
 std::span<const NodeId> SimEngine::stage_active(SlotIndex t) {
-  const std::span<const NodeId> bucket = schedules_.active_nodes_at(t);
+  const std::span<const NodeId> bucket = schedules_->active_nodes_at(t);
   if (next_death_ == 0) return bucket;
   ws_.active.assign(bucket.begin(), bucket.end());
   std::erase_if(ws_.active, [&](NodeId n) { return dead_[n] != 0; });
@@ -400,7 +414,7 @@ void SimEngine::stage_intents(SlotIndex t, std::span<const NodeId> active) {
       return true;
     });
   }
-  validate_intents(topo_, possession_, schedules_, t, ws_.intents);
+  validate_intents(topo_, possession_, *schedules_, t, ws_.intents);
 }
 
 // Imperfect local synchronization: with probability sync_miss_prob a
@@ -559,7 +573,7 @@ void SimEngine::fast_forward(SlotIndex from, SlotIndex to) {
 // skipped occurrence of each of its wake phases.
 std::uint64_t SimEngine::listen_credit(NodeId n) const {
   std::uint64_t credit = 0;
-  for (const std::uint32_t phase : schedules_.active_slots(n)) {
+  for (const std::uint32_t phase : schedules_->active_slots(n)) {
     credit += skipped_by_phase_[phase];
   }
   return credit;
@@ -587,6 +601,18 @@ void SimEngine::stage_coverage(SlotIndex t) {
     }
   }
   uncovered_.resize(keep);
+}
+
+schedule::ScheduleSet derive_schedule_set(const topology::Topology& topo,
+                                          const SimConfig& config) {
+  // Mirrors build_schedules above: fork the schedule substream off a fresh
+  // master seeded with config.seed. Any drift between the two derivations
+  // would silently break the cache's bit-identity guarantee, which the
+  // shared-artifact test suite pins.
+  Rng master(config.seed);
+  Rng schedule_rng(master.fork_seed());
+  return schedule::ScheduleSet(topo.num_nodes(), config.duty, schedule_rng,
+                               config.slots_per_period);
 }
 
 }  // namespace ldcf::sim

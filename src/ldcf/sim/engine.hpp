@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -37,6 +38,10 @@
 
 namespace ldcf::obs {
 class Timeline;  // obs/timeline.hpp; sim depends only on the pointer.
+}
+
+namespace ldcf::topology {
+struct Tree;  // topology/tree.hpp; SimConfig only holds a shared_ptr.
 }
 
 namespace ldcf::sim {
@@ -87,6 +92,20 @@ struct SimConfig {
   /// `profiling`, tracing never affects simulation results: off means a
   /// null-pointer check per stage, zero clock reads, zero allocation.
   obs::Timeline* timeline = nullptr;
+  /// Pre-built working schedules supplied by a caching caller (the sweep
+  /// service memoizes them across identical jobs). Must equal what the
+  /// engine would derive itself — derive_schedule_set(topo, config) builds
+  /// exactly that — and is validated against num_nodes/duty/slots at
+  /// construction. The engine still burns the schedule substream fork so
+  /// the channel and protocol seeds are unchanged: a run with an injected
+  /// ScheduleSet is bit-identical to a cold one. nullptr = build normally.
+  std::shared_ptr<const schedule::ScheduleSet> shared_schedules;
+  /// Pre-built OF energy tree (topology::build_etx_tree(topo, source)),
+  /// handed to protocols through SimContext::energy_tree. The build is a
+  /// pure function of the topology and source — no RNG involved — so
+  /// injection is trivially bit-identical. nullptr = protocols build their
+  /// own.
+  std::shared_ptr<const topology::Tree> shared_tree;
 };
 
 struct SimResult {
@@ -150,7 +169,7 @@ class SimEngine {
 
   [[nodiscard]] const SimConfig& config() const { return config_; }
   [[nodiscard]] const schedule::ScheduleSet& schedules() const {
-    return schedules_;
+    return *schedules_;
   }
   [[nodiscard]] std::uint64_t coverage_target() const {
     return coverage_target_;
@@ -192,7 +211,7 @@ class SimEngine {
   const topology::Topology& topo_;
   SimConfig config_;
   Rng master_;
-  schedule::ScheduleSet schedules_;
+  std::shared_ptr<const schedule::ScheduleSet> schedules_;
   std::uint64_t channel_seed_ = 0;
   std::uint64_t protocol_seed_ = 0;
   std::uint64_t coverage_target_ = 0;
@@ -228,5 +247,12 @@ class SimEngine {
   // crosses a pending death).
   std::vector<std::uint64_t> live_by_phase_;
 };
+
+/// Build exactly the ScheduleSet a SimEngine would derive from (topo,
+/// config): same master seed, same substream order. A cache may build the
+/// artifact once, share it via SimConfig::shared_schedules across any
+/// number of engines, and every run stays bit-identical to a cold one.
+[[nodiscard]] schedule::ScheduleSet derive_schedule_set(
+    const topology::Topology& topo, const SimConfig& config);
 
 }  // namespace ldcf::sim

@@ -16,6 +16,10 @@
 #include "ldcf/schedule/working_schedule.hpp"
 #include "ldcf/topology/topology.hpp"
 
+namespace ldcf::topology {
+struct Tree;  // topology/tree.hpp; the context only carries a pointer.
+}
+
 namespace ldcf::sim {
 
 /// One proposed transmission for the current slot. A unicast names its
@@ -58,6 +62,11 @@ struct SimContext {
   std::uint32_t num_packets = 0;
   std::uint64_t seed = 0;  ///< protocols derive their own substreams.
   NodeId source = 0;       ///< the flooding source (paper default: node 0).
+  /// Pre-built ETX energy tree rooted at `source`, or nullptr. Supplied
+  /// when the caller cached the artifact (SimConfig::shared_tree);
+  /// protocols that need the tree use it instead of rebuilding. The build
+  /// is deterministic, so using the cache never changes results.
+  const topology::Tree* energy_tree = nullptr;
 };
 
 /// Interface implemented by each flooding scheme (OPT, DBAO, OF, ...).

@@ -1,0 +1,109 @@
+// Cooperative cancellation (analysis/cancel.hpp + parallel_for_indexed):
+// the flag is polled before each index claim, in-flight tasks finish, and
+// CancelledError surfaces only when indices were actually abandoned.
+#include "ldcf/analysis/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ldcf/analysis/parallel.hpp"
+
+namespace {
+
+using ldcf::analysis::CancelledError;
+using ldcf::analysis::cancel_requested;
+using ldcf::analysis::parallel_for_indexed;
+using ldcf::analysis::request_cancel;
+using ldcf::analysis::reset_cancel;
+
+class CancelTest : public ::testing::Test {
+ protected:
+  // The flag is process-wide; never leak it into the next test.
+  void SetUp() override { reset_cancel(); }
+  void TearDown() override { reset_cancel(); }
+};
+
+TEST_F(CancelTest, FlagRoundTrips) {
+  EXPECT_FALSE(cancel_requested());
+  request_cancel();
+  EXPECT_TRUE(cancel_requested());
+  reset_cancel();
+  EXPECT_FALSE(cancel_requested());
+}
+
+TEST_F(CancelTest, UncancelledRunCompletesEverything) {
+  std::atomic<std::size_t> ran{0};
+  parallel_for_indexed(64, 4, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 64u);
+}
+
+TEST_F(CancelTest, SerialRunStopsAtTheFlag) {
+  std::vector<std::size_t> ran;
+  EXPECT_THROW(parallel_for_indexed(10, 1,
+                                    [&](std::size_t i) {
+                                      ran.push_back(i);
+                                      if (i == 3) request_cancel();
+                                    }),
+               CancelledError);
+  // Indices 0..3 ran; the in-flight task finished; 4..9 never started.
+  EXPECT_EQ(ran.size(), 4u);
+  EXPECT_EQ(ran.back(), 3u);
+}
+
+TEST_F(CancelTest, ParallelRunAbandonsUnclaimedIndices) {
+  // Tasks are slowed just enough that the flag (raised by index 0, the
+  // first claim) is up long before 4 workers could drain 256 of them.
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(parallel_for_indexed(256, 4,
+                                    [&](std::size_t i) {
+                                      if (i == 0) request_cancel();
+                                      std::this_thread::sleep_for(
+                                          std::chrono::milliseconds(1));
+                                      ++ran;
+                                    }),
+               CancelledError);
+  // In-flight tasks finish (at least the triggering one), but the flag is
+  // polled before each claim, so the full range is never exhausted.
+  EXPECT_GE(ran.load(), 1u);
+  EXPECT_LT(ran.load(), 256u);
+}
+
+TEST_F(CancelTest, CancelRacingCompletionIsNotAnError) {
+  // The flag going up after every index was claimed must not fail a run
+  // that actually finished all its work.
+  std::atomic<std::size_t> ran{0};
+  parallel_for_indexed(8, 2, [&](std::size_t i) {
+    ++ran;
+    if (i == 7) request_cancel();  // the last-claimed index.
+  });
+  // Depending on claim order index 7 may not be last to *finish*; either
+  // way all 8 ran, so no CancelledError escaped above.
+  EXPECT_EQ(ran.load(), 8u);
+}
+
+TEST_F(CancelTest, TaskErrorsWinOverCancellation) {
+  EXPECT_THROW(parallel_for_indexed(4, 1,
+                                    [&](std::size_t i) {
+                                      if (i == 1) {
+                                        request_cancel();
+                                        throw std::runtime_error("task died");
+                                      }
+                                    }),
+               std::runtime_error);
+}
+
+TEST_F(CancelTest, PreRaisedFlagCancelsImmediately) {
+  request_cancel();
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(parallel_for_indexed(16, 4, [&](std::size_t) { ++ran; }),
+               CancelledError);
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Strict scalar parsing (common/parse.hpp): every CLI flag and server
+// request field goes through these, so the rejection rules are contract.
+#include "ldcf/common/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "ldcf/common/error.hpp"
+
+namespace {
+
+using ldcf::InvalidArgument;
+using ldcf::common::parse_double;
+using ldcf::common::parse_u32;
+using ldcf::common::parse_u64;
+
+TEST(ParseU64, AcceptsPlainDecimals) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("1"), 1u);
+  EXPECT_EQ(parse_u64("4096"), 4096u);
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsEmptyAndJunk) {
+  EXPECT_THROW((void)parse_u64(""), InvalidArgument);
+  EXPECT_THROW((void)parse_u64("abc"), InvalidArgument);
+  EXPECT_THROW((void)parse_u64("10x"), InvalidArgument);
+  EXPECT_THROW((void)parse_u64("1 "), InvalidArgument);
+  EXPECT_THROW((void)parse_u64(" 1"), InvalidArgument);
+  EXPECT_THROW((void)parse_u64("0x10"), InvalidArgument);
+  EXPECT_THROW((void)parse_u64("1.5"), InvalidArgument);
+}
+
+TEST(ParseU64, RejectsSigns) {
+  // The historical strtoull path silently wrapped "-1" to 2^64-1.
+  EXPECT_THROW((void)parse_u64("-1"), InvalidArgument);
+  EXPECT_THROW((void)parse_u64("+1"), InvalidArgument);
+}
+
+TEST(ParseU64, RejectsOverflow) {
+  EXPECT_THROW((void)parse_u64("18446744073709551616"), InvalidArgument);
+  EXPECT_THROW((void)parse_u64("99999999999999999999999"), InvalidArgument);
+}
+
+TEST(ParseU64, MessageNamesTheFlag) {
+  try {
+    (void)parse_u64("oops", "--reps");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("--reps"), std::string::npos) << message;
+    EXPECT_NE(message.find("oops"), std::string::npos) << message;
+  }
+}
+
+TEST(ParseU32, RangeChecksThe32BitTarget) {
+  EXPECT_EQ(parse_u32("4294967295"),
+            std::numeric_limits<std::uint32_t>::max());
+  // The old static_cast<uint32_t>(strtoull(...)) pattern truncated this
+  // to 0 silently.
+  EXPECT_THROW((void)parse_u32("4294967296"), InvalidArgument);
+}
+
+TEST(ParseDouble, AcceptsFiniteNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double("0.05"), 0.05);
+  EXPECT_DOUBLE_EQ(parse_double("-2.5"), -2.5);
+  EXPECT_DOUBLE_EQ(parse_double("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_double("42"), 42.0);
+}
+
+TEST(ParseDouble, RejectsJunkAndNonFinite) {
+  EXPECT_THROW((void)parse_double(""), InvalidArgument);
+  EXPECT_THROW((void)parse_double("1.5x"), InvalidArgument);
+  EXPECT_THROW((void)parse_double(" 1.5"), InvalidArgument);
+  EXPECT_THROW((void)parse_double("inf"), InvalidArgument);
+  EXPECT_THROW((void)parse_double("nan"), InvalidArgument);
+  EXPECT_THROW((void)parse_double("1e999"), InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+// Atomic artifact writes (obs/atomic_file.hpp): a failed write must never
+// leave a partial file — or clobber a complete one — at the target path.
+#include "ldcf/obs/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "ldcf/common/error.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ldcf::obs::write_file_atomic;
+
+class AtomicWriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ldcf_atomic_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static std::string slurp(const std::string& file) {
+    std::ifstream in(file);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicWriteTest, WritesBodyAndRemovesTemp) {
+  const std::string target = path("report.json");
+  write_file_atomic(target, [](std::ostream& out) { out << "{\"ok\":true}\n"; });
+  EXPECT_EQ(slurp(target), "{\"ok\":true}\n");
+  EXPECT_FALSE(fs::exists(target + ".tmp"));
+}
+
+TEST_F(AtomicWriteTest, ThrowingBodyLeavesNothingBehind) {
+  const std::string target = path("report.json");
+  EXPECT_THROW(write_file_atomic(target,
+                                 [](std::ostream& out) {
+                                   out << "{\"partial\":";
+                                   throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_FALSE(fs::exists(target + ".tmp"));
+}
+
+TEST_F(AtomicWriteTest, ThrowingBodyPreservesExistingContent) {
+  const std::string target = path("report.json");
+  write_file_atomic(target, [](std::ostream& out) { out << "old\n"; });
+  EXPECT_THROW(write_file_atomic(target,
+                                 [](std::ostream& out) {
+                                   out << "new-but-torn";
+                                   throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(slurp(target), "old\n");
+  EXPECT_FALSE(fs::exists(target + ".tmp"));
+}
+
+TEST_F(AtomicWriteTest, OverwritesExistingFileCompletely) {
+  const std::string target = path("report.json");
+  write_file_atomic(target, [](std::ostream& out) {
+    out << "a much longer first version that must fully disappear\n";
+  });
+  write_file_atomic(target, [](std::ostream& out) { out << "short\n"; });
+  EXPECT_EQ(slurp(target), "short\n");
+}
+
+TEST_F(AtomicWriteTest, UnopenableTempPathThrowsInvalidArgument) {
+  const std::string target = path("no_such_subdir") + "/report.json";
+  EXPECT_THROW(
+      write_file_atomic(target, [](std::ostream& out) { out << "x"; }),
+      ldcf::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// JobSpec parsing and fingerprinting (serve/job.hpp): strict request
+// validation and the canonical-rendering fingerprint the cache keys on.
+#include "ldcf/serve/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ldcf/common/error.hpp"
+#include "ldcf/obs/json_reader.hpp"
+
+namespace {
+
+using ldcf::InvalidArgument;
+using ldcf::obs::parse_json;
+using ldcf::serve::canonical_spec_json;
+using ldcf::serve::JobSpec;
+using ldcf::serve::parse_job_spec;
+using ldcf::serve::spec_fingerprint;
+using ldcf::serve::topology_key;
+
+JobSpec parse(const std::string& json) {
+  return parse_job_spec(*parse_json(json));
+}
+
+TEST(ParseJobSpec, EmptyObjectYieldsDefaults) {
+  const JobSpec spec = parse("{}");
+  const JobSpec defaults;
+  EXPECT_EQ(spec.protocol, defaults.protocol);
+  EXPECT_EQ(spec.generator, defaults.generator);
+  EXPECT_EQ(spec.sensors, defaults.sensors);
+  EXPECT_EQ(spec.reps, defaults.reps);
+  EXPECT_EQ(canonical_spec_json(spec), canonical_spec_json(defaults));
+}
+
+TEST(ParseJobSpec, ReadsEveryField) {
+  const JobSpec spec = parse(
+      R"({"protocol":"opt","generator":"uniform","sensors":80,
+          "topology_seed":9,"duty_pct":10.0,"slots_per_period":2,
+          "num_packets":5,"packet_spacing":3,"seed":77,"max_slots":1000,
+          "coverage_fraction":0.9,"reps":4,"threads":2,
+          "collect_stats":true})");
+  EXPECT_EQ(spec.protocol, "opt");
+  EXPECT_EQ(spec.generator, "uniform");
+  EXPECT_EQ(spec.sensors, 80u);
+  EXPECT_EQ(spec.topology_seed, 9u);
+  EXPECT_DOUBLE_EQ(spec.duty_pct, 10.0);
+  EXPECT_EQ(spec.slots_per_period, 2u);
+  EXPECT_EQ(spec.num_packets, 5u);
+  EXPECT_EQ(spec.packet_spacing, 3u);
+  EXPECT_EQ(spec.seed, 77u);
+  EXPECT_EQ(spec.max_slots, 1000u);
+  EXPECT_DOUBLE_EQ(spec.coverage_fraction, 0.9);
+  EXPECT_EQ(spec.reps, 4u);
+  EXPECT_EQ(spec.threads, 2u);
+  EXPECT_TRUE(spec.collect_stats);
+}
+
+TEST(ParseJobSpec, RejectsUnknownKeys) {
+  // The reason strictness exists: "sensor" must not silently run the
+  // default network.
+  EXPECT_THROW((void)parse(R"({"sensor":500})"), InvalidArgument);
+  EXPECT_THROW((void)parse(R"({"Protocol":"opt"})"), InvalidArgument);
+}
+
+TEST(ParseJobSpec, RejectsBadValues) {
+  EXPECT_THROW((void)parse(R"({"protocol":"bogus"})"), InvalidArgument);
+  EXPECT_THROW((void)parse(R"({"generator":"torus"})"), InvalidArgument);
+  EXPECT_THROW((void)parse(R"({"sensors":1})"), InvalidArgument);
+  EXPECT_THROW((void)parse(R"({"reps":0})"), InvalidArgument);
+  EXPECT_THROW((void)parse(R"({"reps":-1})"), InvalidArgument);
+  EXPECT_THROW((void)parse(R"({"duty_pct":0})"), InvalidArgument);
+  EXPECT_THROW((void)parse(R"({"duty_pct":150})"), InvalidArgument);
+  EXPECT_THROW((void)parse(R"({"coverage_fraction":1.5})"), InvalidArgument);
+  EXPECT_THROW((void)parse(R"({"collect_stats":"yes"})"), InvalidArgument);
+  EXPECT_THROW((void)parse(R"({"sensors":"sixty"})"), InvalidArgument);
+  EXPECT_THROW((void)parse(R"([1,2,3])"), InvalidArgument);
+}
+
+TEST(SpecFingerprint, SpelledOutDefaultsHashIdentically) {
+  // A sparse frame and one spelling out the defaults describe the same
+  // experiment, so they must share a fingerprint (and cache entries).
+  const JobSpec sparse = parse(R"({"protocol":"opt"})");
+  const JobSpec spelled = parse(
+      R"({"protocol":"opt","generator":"clustered","sensors":60,
+          "duty_pct":5.0,"reps":1,"seed":1})");
+  EXPECT_EQ(spec_fingerprint(sparse), spec_fingerprint(spelled));
+}
+
+TEST(SpecFingerprint, ThreadsDoNotSplitTheFingerprint) {
+  // The executor is bit-identical for every thread count, so thread count
+  // is not part of the experiment's identity.
+  const JobSpec one = parse(R"({"protocol":"opt","threads":1})");
+  const JobSpec eight = parse(R"({"protocol":"opt","threads":8})");
+  EXPECT_EQ(spec_fingerprint(one), spec_fingerprint(eight));
+}
+
+TEST(SpecFingerprint, ResultFieldsDoSplitIt) {
+  const JobSpec base = parse("{}");
+  for (const std::string frame :
+       {R"({"seed":2})", R"({"reps":2})", R"({"duty_pct":10})",
+        R"({"protocol":"opt"})", R"({"sensors":61})"}) {
+    SCOPED_TRACE(frame);
+    EXPECT_NE(spec_fingerprint(base), spec_fingerprint(parse(frame)));
+  }
+}
+
+TEST(TopologyKey, DependsOnlyOnGeneratorInputs) {
+  const JobSpec base = parse("{}");
+  // Simulation-side fields share the topology.
+  EXPECT_EQ(topology_key(base), topology_key(parse(R"({"seed":99})")));
+  EXPECT_EQ(topology_key(base), topology_key(parse(R"({"protocol":"opt"})")));
+  // Generator inputs split it.
+  EXPECT_NE(topology_key(base), topology_key(parse(R"({"sensors":61})")));
+  EXPECT_NE(topology_key(base),
+            topology_key(parse(R"({"topology_seed":2})")));
+  EXPECT_NE(topology_key(base),
+            topology_key(parse(R"({"generator":"uniform"})")));
+}
+
+TEST(BuildTopology, IsDeterministicInItsKey) {
+  const JobSpec spec = parse(R"({"generator":"uniform","sensors":30})");
+  const ldcf::topology::Topology a = ldcf::serve::build_topology(spec);
+  const ldcf::topology::Topology b = ldcf::serve::build_topology(spec);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_links(), b.num_links());
+}
+
+TEST(MakeExperiment, ForcesProfilingOff) {
+  const JobSpec spec = parse(R"({"reps":3,"threads":2})");
+  const ldcf::analysis::ExperimentConfig experiment =
+      ldcf::serve::make_experiment(spec);
+  EXPECT_FALSE(experiment.base.profiling);
+  EXPECT_EQ(experiment.repetitions, 3u);
+  EXPECT_EQ(experiment.threads, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,265 @@
+// FloodServer end-to-end: the NDJSON protocol, admission control,
+// malformed-frame resilience, cooperative shutdown, and the headline
+// determinism contract — a cache-hit result is byte-identical to a cold
+// one, and both match what run_point produces directly.
+#include "ldcf/serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ldcf/analysis/experiment.hpp"
+#include "ldcf/analysis/report.hpp"
+#include "ldcf/obs/json_reader.hpp"
+#include "ldcf/serve/client.hpp"
+#include "ldcf/serve/job.hpp"
+
+namespace {
+
+using ldcf::obs::JsonPtr;
+using ldcf::obs::JsonValue;
+using ldcf::obs::parse_json;
+using ldcf::serve::Endpoint;
+using ldcf::serve::FloodClient;
+using ldcf::serve::FloodServer;
+using ldcf::serve::ServerConfig;
+using ldcf::serve::ServerStats;
+
+ServerConfig local_config() {
+  ServerConfig config;
+  config.endpoint.host = "127.0.0.1";
+  config.endpoint.port = 0;  // ephemeral; tests read server.port().
+  return config;
+}
+
+Endpoint client_endpoint(const FloodServer& server) {
+  Endpoint endpoint;
+  endpoint.host = "127.0.0.1";
+  endpoint.port = server.port();
+  return endpoint;
+}
+
+/// The "report" value of a result frame, byte-exact. The frame tail is
+/// "...,\"report\":<report>}", so the value is everything from the key to
+/// the closing brace of the envelope.
+std::string report_field(const std::string& result_frame) {
+  const std::string key = "\"report\":";
+  const std::size_t at = result_frame.find(key);
+  EXPECT_NE(at, std::string::npos) << result_frame;
+  if (at == std::string::npos) return {};
+  return result_frame.substr(at + key.size(),
+                             result_frame.size() - at - key.size() - 1);
+}
+
+TEST(FloodServerTest, PingPongAndStats) {
+  FloodServer server(local_config());
+  server.start();
+  FloodClient client(client_endpoint(server));
+  EXPECT_EQ(client.request("{\"op\":\"ping\"}")->str("type"), "pong");
+
+  const JsonPtr stats = client.request("{\"op\":\"stats\"}");
+  EXPECT_EQ(stats->str("type"), "stats");
+  const JsonValue* jobs = stats->find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_EQ(jobs->u64("accepted", 99), 0u);
+  server.stop();
+}
+
+TEST(FloodServerTest, ResultMatchesDirectRunPointByteForByte) {
+  const std::string config_json =
+      R"({"protocol":"opt","sensors":40,"topology_seed":3,"reps":2,"seed":5})";
+
+  FloodServer server(local_config());
+  server.start();
+  FloodClient client(client_endpoint(server));
+  const std::string raw = client.submit_raw(config_json);
+  server.stop();
+  ASSERT_EQ(parse_json(raw)->str("type"), "result") << raw;
+
+  // The same job executed directly, serialized the way the server does.
+  const ldcf::serve::JobSpec spec =
+      ldcf::serve::parse_job_spec(*parse_json(config_json));
+  const ldcf::topology::Topology topo = ldcf::serve::build_topology(spec);
+  const ldcf::analysis::ExperimentConfig experiment =
+      ldcf::serve::make_experiment(spec);
+  const ldcf::analysis::ProtocolPoint point = ldcf::analysis::run_point(
+      topo, spec.protocol, ldcf::serve::spec_duty(spec), experiment);
+  const std::vector<ldcf::analysis::ProtocolPoint> points{point};
+  ldcf::analysis::SweepReportContext context;
+  context.tool = "flood_server";
+  context.topo = &topo;
+  context.config = &experiment;
+  context.points = &points;
+  context.wall_seconds = 0.0;
+  std::ostringstream direct;
+  ldcf::analysis::write_sweep_report(direct, context);
+  std::string expected = direct.str();
+  while (!expected.empty() && expected.back() == '\n') expected.pop_back();
+
+  EXPECT_EQ(report_field(raw), expected);
+}
+
+TEST(FloodServerTest, SoakRepeatedJobsHitTheCacheAndStayByteIdentical) {
+  ServerConfig config = local_config();
+  config.job_workers = 2;
+  config.max_queued_jobs = 64;
+  FloodServer server(config);
+  server.start();
+
+  const std::string config_json =
+      R"({"protocol":"naive","sensors":30,"reps":2,"threads":2})";
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 3;
+  std::vector<std::vector<std::string>> reports(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      FloodClient client(client_endpoint(server));
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        const std::string raw = client.submit_raw(config_json);
+        if (parse_json(raw)->str("type") == "result") {
+          reports[static_cast<std::size_t>(c)].push_back(report_field(raw));
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const ServerStats stats = server.stats();
+  server.stop();
+
+  // Every submission completed, and all reports are byte-identical.
+  std::set<std::string> distinct;
+  std::size_t total = 0;
+  for (const auto& per_client : reports) {
+    total += per_client.size();
+    distinct.insert(per_client.begin(), per_client.end());
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kClients * kJobsPerClient));
+  EXPECT_EQ(distinct.size(), 1u);
+  EXPECT_EQ(stats.jobs.completed,
+            static_cast<std::uint64_t>(kClients * kJobsPerClient));
+
+  // Identical jobs reuse artifacts: every kind shows cache hits.
+  std::uint64_t hits = 0;
+  for (const auto& kind : stats.cache.kinds) hits += kind.hits;
+  EXPECT_GT(hits, 0u);
+}
+
+TEST(FloodServerTest, QueueFullRejection) {
+  ServerConfig config = local_config();
+  config.job_workers = 0;  // accept-only: the queue fills deterministically.
+  config.max_queued_jobs = 2;
+  FloodServer server(config);
+  server.start();
+  FloodClient client(client_endpoint(server));
+
+  // The first two queue; each answers with an accepted frame.
+  for (int i = 0; i < 2; ++i) {
+    const JsonPtr reply =
+        client.request(R"({"op":"submit","config":{"reps":1}})");
+    EXPECT_EQ(reply->str("type"), "accepted");
+  }
+  const JsonPtr rejected =
+      client.request(R"({"op":"submit","config":{"reps":1}})");
+  EXPECT_EQ(rejected->str("type"), "rejected");
+  EXPECT_EQ(rejected->str("code"), "queue_full");
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.jobs.accepted, 2u);
+  EXPECT_EQ(stats.jobs.rejected, 1u);
+  server.stop();
+}
+
+TEST(FloodServerTest, TooManyTrialsRejection) {
+  ServerConfig config = local_config();
+  config.job_workers = 0;
+  config.max_trials_per_job = 4;
+  FloodServer server(config);
+  server.start();
+  FloodClient client(client_endpoint(server));
+  const JsonPtr reply =
+      client.request(R"({"op":"submit","config":{"reps":5}})");
+  EXPECT_EQ(reply->str("type"), "rejected");
+  EXPECT_EQ(reply->str("code"), "too_many_trials");
+  server.stop();
+}
+
+TEST(FloodServerTest, MalformedFramesGetRejectedNotFatal) {
+  FloodServer server(local_config());
+  server.start();
+  FloodClient client(client_endpoint(server));
+
+  const std::vector<std::string> bad_frames = {
+      "this is not json",
+      "{\"op\":\"warp\"}",
+      "{\"no_op\":1}",
+      R"({"op":"submit","config":{"sensor":500}})",
+      R"({"op":"submit","config":{"protocol":"bogus"}})",
+      R"({"op":"submit"})"};
+  for (const std::string& frame : bad_frames) {
+    SCOPED_TRACE(frame);
+    const JsonPtr reply = client.request(frame);
+    EXPECT_EQ(reply->str("type"), "rejected");
+    EXPECT_EQ(reply->str("code"), "bad_request");
+  }
+
+  // The daemon survived all of it.
+  EXPECT_EQ(client.request("{\"op\":\"ping\"}")->str("type"), "pong");
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.malformed_frames, 6u);
+  EXPECT_EQ(stats.jobs.accepted, 0u);
+  server.stop();
+}
+
+TEST(FloodServerTest, StopFlushesQueuedJobsWithShutdownErrors) {
+  ServerConfig config = local_config();
+  config.job_workers = 0;  // nothing ever runs; the queue holds the job.
+  FloodServer server(config);
+  server.start();
+
+  // Raw socket so the frames after stop() can still be drained: stop()
+  // writes the shutdown error before closing the connection, and the
+  // bytes stay readable on the client side after the peer is gone.
+  ldcf::serve::Socket sock =
+      ldcf::serve::connect_to(client_endpoint(server));
+  ASSERT_TRUE(ldcf::serve::send_all(
+      sock.fd(), "{\"op\":\"submit\",\"config\":{\"reps\":1}}\n"));
+  ldcf::serve::LineReader reader(sock.fd());
+  std::string line;
+  ASSERT_TRUE(reader.next_line(line));
+  ASSERT_EQ(parse_json(line)->str("type"), "accepted");
+
+  server.stop();
+  ASSERT_TRUE(reader.next_line(line));
+  const JsonPtr error = parse_json(line);
+  EXPECT_EQ(error->str("type"), "error");
+  EXPECT_EQ(error->str("code"), "shutdown");
+  EXPECT_EQ(server.stats().jobs.failed, 1u);
+}
+
+TEST(FloodServerTest, StatsFileIsValidJson) {
+  FloodServer server(local_config());
+  server.start();
+  FloodClient client(client_endpoint(server));
+  (void)client.request("{\"op\":\"ping\"}");
+  server.stop();
+
+  const std::string path = ::testing::TempDir() + "ldcf_server_stats.json";
+  server.write_stats_file(path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonPtr doc = parse_json(buffer.str());
+  EXPECT_EQ(doc->str("schema"), "ldcf.server_stats.v1");
+  EXPECT_EQ(doc->u64("connections", 0), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace

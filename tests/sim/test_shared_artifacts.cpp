@@ -1,0 +1,139 @@
+// Injected immutable artifacts (SimConfig::shared_schedules /
+// shared_tree) must be invisible in the results: a run fed cache-built
+// artifacts is byte-identical to a cold run. This is the determinism
+// contract the sweep service's ArtifactCache rests on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ldcf/analysis/experiment.hpp"
+#include "ldcf/analysis/report.hpp"
+#include "ldcf/common/error.hpp"
+#include "ldcf/protocols/registry.hpp"
+#include "ldcf/sim/engine.hpp"
+#include "ldcf/topology/generators.hpp"
+#include "ldcf/topology/tree.hpp"
+
+namespace {
+
+using ldcf::analysis::ExperimentConfig;
+using ldcf::analysis::ProtocolPoint;
+using ldcf::analysis::run_point;
+using ldcf::analysis::SweepReportContext;
+using ldcf::analysis::write_sweep_report;
+
+ldcf::topology::Topology small_topology() {
+  ldcf::topology::ClusterConfig config =
+      ldcf::topology::scaled_cluster_config(40, 7);
+  return ldcf::topology::make_clustered(config);
+}
+
+ExperimentConfig base_experiment() {
+  ExperimentConfig experiment;
+  experiment.base.duty = ldcf::DutyCycle{20};
+  experiment.base.num_packets = 6;
+  experiment.base.seed = 11;
+  experiment.base.profiling = false;  // wall-clock noise is not determinism.
+  experiment.repetitions = 3;
+  experiment.threads = 2;
+  return experiment;
+}
+
+/// Serialize a point the way the sweep service does: wall_seconds pinned.
+std::string report_bytes(const ldcf::topology::Topology& topo,
+                         const ExperimentConfig& config,
+                         const ProtocolPoint& point) {
+  const std::vector<ProtocolPoint> points{point};
+  SweepReportContext context;
+  context.tool = "test_shared_artifacts";
+  context.topo = &topo;
+  context.config = &config;
+  context.points = &points;
+  context.wall_seconds = 0.0;
+  std::ostringstream out;
+  write_sweep_report(out, context);
+  return out.str();
+}
+
+TEST(SharedArtifacts, InjectedRunIsByteIdenticalAcrossProtocols) {
+  const ldcf::topology::Topology topo = small_topology();
+  // "of", "opt" and "dbao" consume the energy tree; "naive" ignores it —
+  // covering both proves injection changes nothing either way.
+  for (const std::string protocol : {"naive", "opt", "dbao", "of"}) {
+    SCOPED_TRACE(protocol);
+    const ExperimentConfig cold = base_experiment();
+    const ProtocolPoint cold_point =
+        run_point(topo, protocol, cold.base.duty, cold);
+
+    ExperimentConfig injected = base_experiment();
+    const auto tree = std::make_shared<const ldcf::topology::Tree>(
+        ldcf::topology::build_etx_tree(topo, injected.base.source));
+    injected.trial_artifacts = [&topo, tree](ldcf::sim::SimConfig& config) {
+      config.shared_tree = tree;
+      config.shared_schedules =
+          std::make_shared<const ldcf::schedule::ScheduleSet>(
+              ldcf::sim::derive_schedule_set(topo, config));
+    };
+    const ProtocolPoint injected_point =
+        run_point(topo, protocol, injected.base.duty, injected);
+
+    EXPECT_EQ(report_bytes(topo, cold, cold_point),
+              report_bytes(topo, injected, injected_point));
+  }
+}
+
+TEST(SharedArtifacts, DeriveScheduleSetMatchesTheEngine) {
+  const ldcf::topology::Topology topo = small_topology();
+  ldcf::sim::SimConfig config = base_experiment().base;
+  config.seed = 42;
+  const ldcf::schedule::ScheduleSet derived =
+      ldcf::sim::derive_schedule_set(topo, config);
+  // The engine accepts the derived set (validation passes) and produces
+  // the same run as when it builds its own.
+  ldcf::sim::SimEngine cold(topo, config);
+  config.shared_schedules =
+      std::make_shared<const ldcf::schedule::ScheduleSet>(derived);
+  ldcf::sim::SimEngine warm(topo, config);
+  const auto cold_protocol = ldcf::protocols::make_protocol("naive");
+  const auto warm_protocol = ldcf::protocols::make_protocol("naive");
+  const ldcf::sim::SimResult cold_result = cold.run(*cold_protocol, nullptr);
+  const ldcf::sim::SimResult warm_result = warm.run(*warm_protocol, nullptr);
+  EXPECT_EQ(cold_result.metrics.channel.attempts,
+            warm_result.metrics.channel.attempts);
+  EXPECT_EQ(cold_result.metrics.channel.delivered,
+            warm_result.metrics.channel.delivered);
+  EXPECT_EQ(cold_result.energy.total, warm_result.energy.total);
+}
+
+TEST(SharedArtifacts, MismatchedScheduleInjectionThrows) {
+  const ldcf::topology::Topology topo = small_topology();
+  ldcf::sim::SimConfig config;
+  config.duty = ldcf::DutyCycle{20};
+
+  // Wrong duty cycle: derived under T=10, injected into a T=20 run.
+  ldcf::sim::SimConfig other = config;
+  other.duty = ldcf::DutyCycle{10};
+  config.shared_schedules =
+      std::make_shared<const ldcf::schedule::ScheduleSet>(
+          ldcf::sim::derive_schedule_set(topo, other));
+  EXPECT_THROW(ldcf::sim::SimEngine(topo, config), ldcf::InvalidArgument);
+
+  // Wrong node count: built for a different topology size.
+  const ldcf::topology::Topology bigger = [] {
+    ldcf::topology::ClusterConfig cluster =
+        ldcf::topology::scaled_cluster_config(60, 7);
+    return ldcf::topology::make_clustered(cluster);
+  }();
+  ldcf::sim::SimConfig wrong_nodes;
+  wrong_nodes.duty = ldcf::DutyCycle{20};
+  wrong_nodes.shared_schedules =
+      std::make_shared<const ldcf::schedule::ScheduleSet>(
+          ldcf::sim::derive_schedule_set(bigger, wrong_nodes));
+  EXPECT_THROW(ldcf::sim::SimEngine(topo, wrong_nodes),
+               ldcf::InvalidArgument);
+}
+
+}  // namespace
